@@ -1,0 +1,288 @@
+// Benchmarks: one per reproduced table/figure (BenchmarkFigNN regenerates
+// the corresponding experiment series at smoke scale — run
+// `go run ./cmd/haste run --fig figNN --reps 100` for paper-fidelity
+// numbers), plus micro-benchmarks of the algorithmic kernels and the
+// ablation benches called out in DESIGN.md §5.
+package haste_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"haste"
+	"haste/internal/core"
+	"haste/internal/dominant"
+	"haste/internal/emr"
+	"haste/internal/experiments"
+	"haste/internal/online"
+	"haste/internal/opt"
+	"haste/internal/sim"
+	"haste/internal/workload"
+)
+
+// --- figure benches -------------------------------------------------------
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := experiments.Options{Reps: 1, Seed: 1, Quick: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig04(b *testing.B) { benchFigure(b, "fig4") }
+func BenchmarkFig05(b *testing.B) { benchFigure(b, "fig5") }
+func BenchmarkFig06(b *testing.B) { benchFigure(b, "fig6") }
+func BenchmarkFig07(b *testing.B) { benchFigure(b, "fig7") }
+func BenchmarkFig08(b *testing.B) { benchFigure(b, "fig8") }
+func BenchmarkFig09(b *testing.B) { benchFigure(b, "fig9") }
+func BenchmarkFig10(b *testing.B) { benchFigure(b, "fig10") }
+func BenchmarkFig11(b *testing.B) { benchFigure(b, "fig11") }
+func BenchmarkFig12(b *testing.B) { benchFigure(b, "fig12") }
+func BenchmarkFig13(b *testing.B) { benchFigure(b, "fig13") }
+func BenchmarkFig14(b *testing.B) { benchFigure(b, "fig14") }
+func BenchmarkFig15(b *testing.B) { benchFigure(b, "fig15") }
+func BenchmarkFig16(b *testing.B) { benchFigure(b, "fig16") }
+func BenchmarkFig17(b *testing.B) { benchFigure(b, "fig17") }
+func BenchmarkFig18(b *testing.B) { benchFigure(b, "fig18") }
+func BenchmarkFig21(b *testing.B) { benchFigure(b, "fig21") }
+func BenchmarkFig22(b *testing.B) { benchFigure(b, "fig22") }
+func BenchmarkFig24(b *testing.B) { benchFigure(b, "fig24") }
+func BenchmarkFig25(b *testing.B) { benchFigure(b, "fig25") }
+
+// --- kernel benches -------------------------------------------------------
+
+// paperScaleProblem builds one §7.1-scale instance (50 chargers, 200
+// tasks).
+func paperScaleProblem(b *testing.B) *core.Problem {
+	b.Helper()
+	in := workload.Default().Generate(rand.New(rand.NewSource(1)))
+	p, err := core.NewProblem(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// midScaleProblem is small enough for the quadratic eager greedy.
+func midScaleProblem(b *testing.B) *core.Problem {
+	b.Helper()
+	cfg := workload.Default()
+	cfg.NumChargers, cfg.NumTasks = 12, 40
+	cfg.DurationMin, cfg.DurationMax = 5, 20
+	cfg.ReleaseMax = 10
+	in := cfg.Generate(rand.New(rand.NewSource(2)))
+	p, err := core.NewProblem(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func BenchmarkDominantExtractAll(b *testing.B) {
+	in := workload.Default().Generate(rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dominant.ExtractAll(in)
+	}
+}
+
+func BenchmarkNewProblem(b *testing.B) {
+	in := workload.Default().Generate(rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewProblem(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarginalEvaluation(b *testing.B) {
+	p := paperScaleProblem(b)
+	es := core.NewEnergyState(p)
+	n := len(p.In.Chargers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch := i % n
+		es.Marginal(ch, i%p.K, i%len(p.Gamma[ch]))
+	}
+}
+
+func BenchmarkTabularGreedyC1(b *testing.B) {
+	p := paperScaleProblem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.TabularGreedy(p, core.DefaultOptions(1))
+	}
+}
+
+func BenchmarkTabularGreedyC4(b *testing.B) {
+	p := paperScaleProblem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.TabularGreedy(p, core.Options{Colors: 4, PreferStay: true})
+	}
+}
+
+func BenchmarkSimExecute(b *testing.B) {
+	p := paperScaleProblem(b)
+	res := core.TabularGreedy(p, core.DefaultOptions(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Execute(p, res.Schedule)
+	}
+}
+
+func BenchmarkOnlineRun(b *testing.B) {
+	p := midScaleProblem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		online.Run(p, online.Options{Seed: int64(i)})
+	}
+}
+
+func BenchmarkOptSolveSmallScale(b *testing.B) {
+	cfg := haste.SmallScaleWorkload()
+	in := cfg.Generate(rand.New(rand.NewSource(3)))
+	p, err := core.NewProblem(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.Solve(p, opt.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablations (DESIGN.md §5) ----------------------------------------------
+
+// BenchmarkAblationColors measures the cost of the TabularGreedy control
+// parameter C (quality numbers are in EXPERIMENTS.md; here: time/allocs).
+func BenchmarkAblationColors(b *testing.B) {
+	p := midScaleProblem(b)
+	for _, c := range []struct {
+		name   string
+		colors int
+	}{{"C1", 1}, {"C2", 2}, {"C4", 4}, {"C8", 8}} {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.TabularGreedy(p, core.Options{Colors: c.colors, PreferStay: true})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLazy compares the lazy (priority-queue) and eager
+// (quadratic rescan) global greedy implementations, which produce
+// identical schedules.
+func BenchmarkAblationLazy(b *testing.B) {
+	p := midScaleProblem(b)
+	b.Run("lazy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.GlobalGreedy(p, true)
+		}
+	})
+	b.Run("eager", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.GlobalGreedy(p, false)
+		}
+	})
+}
+
+// BenchmarkAblationAnisotropic measures the cost of the anisotropic
+// receiving-gain extension (the paper's cited future-work model).
+func BenchmarkAblationAnisotropic(b *testing.B) {
+	for _, aniso := range []bool{false, true} {
+		name := "isotropic"
+		if aniso {
+			name = "anisotropic"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := workload.Default()
+			cfg.NumChargers, cfg.NumTasks = 12, 40
+			cfg.Params.AnisotropicGain = aniso
+			in := cfg.Generate(rand.New(rand.NewSource(4)))
+			p, err := core.NewProblem(in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.TabularGreedy(p, core.DefaultOptions(1))
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEMR measures the cost of the EMR-safety extension:
+// unconstrained locally greedy vs the EMR-constrained greedy at loose and
+// tight thresholds over a 2.5 m monitoring grid.
+func BenchmarkAblationEMR(b *testing.B) {
+	cfg := workload.Default()
+	cfg.NumChargers, cfg.NumTasks = 12, 40
+	cfg.FieldSide = 30
+	in := cfg.Generate(rand.New(rand.NewSource(6)))
+	p, err := core.NewProblem(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid := emr.Grid(30, 2.5)
+	b.Run("unconstrained", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.TabularGreedy(p, core.DefaultOptions(1))
+		}
+	})
+	for _, limit := range []float64{50, 10} {
+		f := emr.Field{Points: grid, Gamma: 1, Limit: limit}
+		b.Run(fmt.Sprintf("limit%.0f", limit), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				emr.ConstrainedGreedy(p, f)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDominantPerSlot compares one global dominant-set
+// extraction (the paper's Γ_{i,k} = Γ_i choice) against re-extracting over
+// only the tasks active in each slot.
+func BenchmarkAblationDominantPerSlot(b *testing.B) {
+	in := workload.Default().Generate(rand.New(rand.NewSource(5)))
+	p, err := core.NewProblem(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("global", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dominant.ExtractAll(in)
+		}
+	})
+	b.Run("per-slot", func(b *testing.B) {
+		// Active task lists per slot, shared across chargers.
+		active := make([][]int, p.K)
+		for k := 0; k < p.K; k++ {
+			for _, t := range in.Tasks {
+				if t.ActiveAt(k) {
+					active[k] = append(active[k], t.ID)
+				}
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for ch := range in.Chargers {
+				for k := 0; k < p.K; k++ {
+					dominant.ExtractSubset(in, ch, active[k])
+				}
+			}
+		}
+	})
+}

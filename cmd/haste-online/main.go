@@ -1,0 +1,113 @@
+// Command haste-online demonstrates the distributed online scheduler on a
+// randomly generated arrival trace: it prints each arrival batch with the
+// negotiation it triggered (control messages, rounds), then the executed
+// orientation timeline of a few chargers and the final per-task utilities.
+//
+// Usage:
+//
+//	haste-online [--chargers N] [--tasks M] [--seed S] [--colors C] [--field F]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"haste/internal/core"
+	"haste/internal/geom"
+	"haste/internal/online"
+	"haste/internal/report"
+	"haste/internal/viz"
+	"haste/internal/workload"
+)
+
+func main() {
+	chargers := flag.Int("chargers", 12, "number of chargers")
+	tasks := flag.Int("tasks", 40, "number of charging tasks")
+	field := flag.Float64("field", 30, "square field side, meters")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	colors := flag.Int("colors", 1, "TabularGreedy color count C")
+	showMap := flag.Bool("map", false, "render an ASCII field map with the final orientations")
+	flag.Parse()
+
+	cfg := workload.Default()
+	cfg.NumChargers = *chargers
+	cfg.NumTasks = *tasks
+	cfg.FieldSide = *field
+	cfg.DurationMin, cfg.DurationMax = 6, 30
+	cfg.ReleaseMax = 20
+	cfg.EnergyMin, cfg.EnergyMax = 2e3, 8e3
+
+	in := cfg.Generate(rand.New(rand.NewSource(*seed)))
+	p, err := core.NewProblem(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "haste-online:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("online HASTE demo: %d chargers, %d tasks, %d time slots, τ=%d, ρ=%.3f, C=%d\n\n",
+		*chargers, *tasks, p.K, in.Params.Tau, in.Params.Rho, *colors)
+
+	res := online.Run(p, online.Options{Colors: *colors, Seed: *seed})
+
+	fmt.Println("arrival-triggered negotiations:")
+	for _, n := range res.Stats.Negotiations {
+		fmt.Printf("  slot %3d: %2d new task(s) → %3d sessions, %5d messages, %4d rounds\n",
+			n.Slot, n.NewTasks, n.Sessions, n.Messages, n.Rounds)
+	}
+	fmt.Printf("total: %d messages, %d rounds, %d dropped\n\n",
+		res.Stats.TotalMessages(), res.Stats.TotalRounds(), res.Stats.Net.Dropped)
+
+	fmt.Println("orientation timeline (first 4 chargers, '·' = unoriented):")
+	show := 4
+	if show > len(res.Orientations) {
+		show = len(res.Orientations)
+	}
+	for i := 0; i < show; i++ {
+		fmt.Printf("  charger %2d: ", i)
+		for k := 0; k < p.K && k < 48; k++ {
+			if math.IsNaN(res.Orientations[i][k]) {
+				fmt.Print("  · ")
+			} else {
+				fmt.Printf("%3.0f°", geom.ToDeg(res.Orientations[i][k]))
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	tbl := report.NewTable("per-task outcome", "task", "E_required_J", "E_harvested_J", "utility")
+	for j, t := range in.Tasks {
+		if j >= 15 {
+			tbl.AddRow("…", "", "", "")
+			break
+		}
+		tbl.AddRow(j, t.Energy, res.Outcome.Energy[j], res.Outcome.PerTask[j])
+	}
+	if err := tbl.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "haste-online:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\noverall charging utility: %.4f (of %.4f max), %d orientation switches\n",
+		res.Outcome.Utility, in.TotalWeight(), res.Outcome.Switches)
+
+	if *showMap {
+		// Resolve each charger's last effective orientation for the map.
+		final := make([]float64, len(in.Chargers))
+		for i := range final {
+			final[i] = math.NaN()
+			for k := 0; k < p.K; k++ {
+				if !math.IsNaN(res.Orientations[i][k]) {
+					final[i] = res.Orientations[i][k]
+				}
+			}
+		}
+		fmt.Println("\nfield map (final orientations):")
+		if err := viz.FieldMap(os.Stdout, in, final, 72); err != nil {
+			fmt.Fprintln(os.Stderr, "haste-online:", err)
+			os.Exit(1)
+		}
+	}
+}

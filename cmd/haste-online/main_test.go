@@ -1,0 +1,26 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestDemoRuns(t *testing.T) {
+	cmd := exec.Command("go", "run", ".", "--chargers", "6", "--tasks", "15", "--seed", "2")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("demo failed: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"online HASTE demo",
+		"arrival-triggered negotiations",
+		"orientation timeline",
+		"overall charging utility",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}

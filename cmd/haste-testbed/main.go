@@ -1,0 +1,77 @@
+// Command haste-testbed replays the paper's field experiments (§8) on the
+// software model of the Powercast testbed and prints the per-task charging
+// utilities of HASTE (C = 4), GreedyUtility and GreedyCover — the content
+// of Figs. 21/22 (Topology 1) and 24/25 (Topology 2).
+//
+// Usage:
+//
+//	haste-testbed [--topology 1|2] [--mode offline|online|both] [--seed S] [--csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"haste/internal/model"
+	"haste/internal/report"
+	"haste/internal/testbed"
+)
+
+func main() {
+	topology := flag.Int("topology", 1, "testbed topology: 1 (8 chargers / 8 tasks) or 2 (16 / 20)")
+	mode := flag.String("mode", "both", "scheduling scenario: offline, online, or both")
+	seed := flag.Int64("seed", 1, "RNG seed for color sampling")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	var in *model.Instance
+	switch *topology {
+	case 1:
+		in = testbed.Topology1()
+	case 2:
+		in = testbed.Topology2()
+	default:
+		fmt.Fprintln(os.Stderr, "haste-testbed: --topology must be 1 or 2")
+		os.Exit(2)
+	}
+
+	var modes []testbed.Mode
+	switch *mode {
+	case "offline":
+		modes = []testbed.Mode{testbed.Offline}
+	case "online":
+		modes = []testbed.Mode{testbed.Online}
+	case "both":
+		modes = []testbed.Mode{testbed.Offline, testbed.Online}
+	default:
+		fmt.Fprintln(os.Stderr, "haste-testbed: --mode must be offline, online or both")
+		os.Exit(2)
+	}
+
+	for _, m := range modes {
+		c, err := testbed.Compare(in, m, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "haste-testbed:", err)
+			os.Exit(1)
+		}
+		tbl := report.NewTable(
+			fmt.Sprintf("Testbed topology %d — per-task charging utility (%s)", *topology, m),
+			"task", "HASTE_C4", "GreedyUtility", "GreedyCover")
+		for j := range c.HASTE {
+			tbl.AddRow(fmt.Sprintf("task %d", j+1), c.HASTE[j], c.GreedyUtility[j], c.GreedyCover[j])
+		}
+		tbl.AddRow("TOTAL", c.HASTETotal, c.UtilityTotal, c.CoverTotal)
+		var err2 error
+		if *csv {
+			err2 = tbl.WriteCSV(os.Stdout)
+		} else {
+			err2 = tbl.WriteText(os.Stdout)
+			fmt.Println()
+		}
+		if err2 != nil {
+			fmt.Fprintln(os.Stderr, "haste-testbed:", err2)
+			os.Exit(1)
+		}
+	}
+}

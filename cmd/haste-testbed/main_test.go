@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "."}, args...)...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestTopology1Both(t *testing.T) {
+	out, err := run(t, "--topology", "1", "--mode", "both")
+	if err != nil {
+		t.Fatalf("failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "(offline)") || !strings.Contains(out, "(online)") {
+		t.Errorf("missing modes:\n%s", out)
+	}
+	if strings.Count(out, "TOTAL") != 2 {
+		t.Errorf("expected two TOTAL rows:\n%s", out)
+	}
+}
+
+func TestTopology2CSV(t *testing.T) {
+	out, err := run(t, "--topology", "2", "--mode", "offline", "--csv")
+	if err != nil {
+		t.Fatalf("failed: %v\n%s", err, out)
+	}
+	if !strings.HasPrefix(out, "task,HASTE_C4,") {
+		t.Errorf("CSV header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "task 20") {
+		t.Errorf("expected 20 tasks:\n%s", out)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if out, err := run(t, "--topology", "3"); err == nil {
+		t.Errorf("topology 3 accepted:\n%s", out)
+	}
+	if out, err := run(t, "--mode", "sideways"); err == nil {
+		t.Errorf("bogus mode accepted:\n%s", out)
+	}
+}

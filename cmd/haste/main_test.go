@@ -1,0 +1,134 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// run executes this command with the given arguments via `go run .`.
+func run(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "."}, args...)...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestListCommand(t *testing.T) {
+	out, err := run(t, "list")
+	if err != nil {
+		t.Fatalf("list failed: %v\n%s", err, out)
+	}
+	for _, id := range []string{"fig4", "fig16", "fig25"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list output missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	out, err := run(t, "run", "--fig", "fig21", "--quick", "--reps", "1")
+	if err != nil {
+		t.Fatalf("run failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "Fig. 21") || !strings.Contains(out, "TOTAL") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	out, err := run(t, "run", "--fig", "fig21", "--quick", "--reps", "1", "--csv")
+	if err != nil {
+		t.Fatalf("run --csv failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "task,HASTE_C4,GreedyUtility,GreedyCover") {
+		t.Errorf("CSV header missing:\n%s", out)
+	}
+	if strings.Contains(out, "==") {
+		t.Errorf("CSV output contains table banner:\n%s", out)
+	}
+}
+
+func TestRunMarkdownToDir(t *testing.T) {
+	dir := t.TempDir()
+	out, err := run(t, "run", "--fig", "fig21", "--quick", "--reps", "1",
+		"--format", "markdown", "--out", dir)
+	if err != nil {
+		t.Fatalf("run --format markdown failed: %v\n%s", err, out)
+	}
+	data, err := exec.Command("cat", dir+"/fig21.md").CombinedOutput()
+	if err != nil {
+		t.Fatalf("output file missing: %v", err)
+	}
+	if !strings.Contains(string(data), "| task | HASTE_C4 |") {
+		t.Errorf("markdown table missing:\n%s", data)
+	}
+}
+
+func TestRunBadFormat(t *testing.T) {
+	out, err := run(t, "run", "--fig", "fig21", "--format", "yaml")
+	if err == nil {
+		t.Fatalf("bad format accepted:\n%s", out)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	out, err := run(t, "run", "--fig", "fig99")
+	if err == nil {
+		t.Fatalf("unknown figure accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "unknown experiment") {
+		t.Errorf("unhelpful error:\n%s", out)
+	}
+}
+
+func TestRunWithoutSelection(t *testing.T) {
+	out, err := run(t, "run")
+	if err == nil {
+		t.Fatalf("run without --fig/--all accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "--fig") {
+		t.Errorf("unhelpful error:\n%s", out)
+	}
+}
+
+func TestGenAndEvalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/inst.json"
+	out, err := run(t, "gen", "--small", "--seed", "5", "--out", path)
+	if err != nil {
+		t.Fatalf("gen failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "wrote 5 chargers / 10 tasks") {
+		t.Errorf("gen output: %s", out)
+	}
+	out, err = run(t, "eval", "--instance", path)
+	if err != nil {
+		t.Fatalf("eval failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"HASTE offline C=1", "HASTE online C=1", "GreedyCover"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("eval output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEvalRequiresInstance(t *testing.T) {
+	out, err := run(t, "eval")
+	if err == nil {
+		t.Fatalf("eval without instance accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "--instance") {
+		t.Errorf("unhelpful error:\n%s", out)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	out, err := run(t, "frobnicate")
+	if err == nil {
+		t.Fatalf("unknown command accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "unknown command") {
+		t.Errorf("unhelpful error:\n%s", out)
+	}
+}

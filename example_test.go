@@ -1,0 +1,71 @@
+package haste_test
+
+import (
+	"fmt"
+	"math"
+
+	"haste"
+)
+
+// ExampleScheduleOffline schedules a single charger/device pair and
+// prints the resulting utility. The device sits 10 m from the charger and
+// needs exactly the energy two fully covered slots deliver.
+func ExampleScheduleOffline() {
+	in := &haste.Instance{
+		Chargers: []haste.Charger{{ID: 0, Pos: haste.Point{X: 0, Y: 0}}},
+		Tasks: []haste.Task{{
+			ID:  0,
+			Pos: haste.Point{X: 10, Y: 0}, Phi: math.Pi, // facing the charger
+			Release: 0, End: 2, Energy: 480, Weight: 1,
+		}},
+		Params: haste.Params{
+			Alpha: 10000, Beta: 40, Radius: 20,
+			ChargeAngle: haste.Deg(60), ReceiveAngle: haste.Deg(60),
+			SlotSeconds: 60, Rho: 0, Tau: 0,
+		},
+	}
+	p, err := haste.NewProblem(in)
+	if err != nil {
+		panic(err)
+	}
+	res := haste.ScheduleOffline(p, haste.DefaultOptions(1))
+	fmt.Printf("relaxed utility: %.2f\n", res.RUtility)
+	fmt.Printf("physical utility: %.2f\n", haste.Simulate(p, res.Schedule).Utility)
+	// Output:
+	// relaxed utility: 1.00
+	// physical utility: 1.00
+}
+
+// ExampleRunOnline shows the distributed online scheduler handling a task
+// that arrives at slot 2: with rescheduling delay τ = 1 the charger can
+// orient no earlier than slot 3.
+func ExampleRunOnline() {
+	in := &haste.Instance{
+		Chargers: []haste.Charger{{ID: 0, Pos: haste.Point{X: 0, Y: 0}}},
+		Tasks: []haste.Task{{
+			ID:  0,
+			Pos: haste.Point{X: 10, Y: 0}, Phi: math.Pi,
+			Release: 2, End: 6, Energy: 480, Weight: 1,
+		}},
+		Params: haste.Params{
+			Alpha: 10000, Beta: 40, Radius: 20,
+			ChargeAngle: haste.Deg(60), ReceiveAngle: haste.Deg(60),
+			SlotSeconds: 60, Rho: 0, Tau: 1,
+		},
+	}
+	p, err := haste.NewProblem(in)
+	if err != nil {
+		panic(err)
+	}
+	res := haste.RunOnline(p, haste.OnlineOptions{Seed: 1})
+	fmt.Printf("first command at slot 3: %v\n", !math.IsNaN(res.Orientations[0][3]))
+	fmt.Printf("slots 0-2 uncommanded: %v\n",
+		math.IsNaN(res.Orientations[0][0]) &&
+			math.IsNaN(res.Orientations[0][1]) &&
+			math.IsNaN(res.Orientations[0][2]))
+	fmt.Printf("utility: %.2f\n", res.Outcome.Utility)
+	// Output:
+	// first command at slot 3: true
+	// slots 0-2 uncommanded: true
+	// utility: 1.00
+}

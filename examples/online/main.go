@@ -1,0 +1,57 @@
+// Online scenario: urgent charging requests arrive unpredictably (the
+// paper's motivating case for static chargers over mobile ones — a mobile
+// charger would have to travel; a static directional charger just turns).
+// The distributed online algorithm renegotiates orientations with its
+// neighbors on every arrival, paying the rescheduling delay τ and the
+// switching delay ρ.
+//
+//	go run ./examples/online
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"haste"
+	"haste/internal/workload"
+)
+
+func main() {
+	cfg := workload.Default()
+	cfg.NumChargers = 16
+	cfg.NumTasks = 50
+	cfg.FieldSide = 35
+	cfg.DurationMin, cfg.DurationMax = 8, 40
+	cfg.ReleaseMax = 30 // requests trickle in over half an hour
+	cfg.EnergyMin, cfg.EnergyMax = 3e3, 10e3
+
+	in := cfg.Generate(rand.New(rand.NewSource(7)))
+	p, err := haste.NewProblem(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res := haste.RunOnline(p, haste.OnlineOptions{Colors: 1, Seed: 7})
+
+	fmt.Printf("online run: %d chargers, %d tasks arriving over %d slots (τ=%d)\n\n",
+		len(in.Chargers), len(in.Tasks), cfg.ReleaseMax, in.Params.Tau)
+	fmt.Println("negotiations (arrival slot → traffic):")
+	for _, n := range res.Stats.Negotiations {
+		if n.Messages == 0 {
+			continue
+		}
+		fmt.Printf("  slot %2d: %2d arrivals → %4d msgs in %3d rounds over %3d sessions\n",
+			n.Slot, n.NewTasks, n.Messages, n.Rounds, n.Sessions)
+	}
+	fmt.Printf("\ntotals: %d control messages, %d rounds\n",
+		res.Stats.TotalMessages(), res.Stats.TotalRounds())
+	fmt.Printf("charging utility: %.4f (max %.1f), %d orientation switches\n",
+		res.Outcome.Utility, in.TotalWeight(), res.Outcome.Switches)
+
+	// Contrast with the clairvoyant offline schedule on the same tasks.
+	off := haste.ScheduleOffline(p, haste.DefaultOptions(1))
+	offOut := haste.Simulate(p, off.Schedule)
+	fmt.Printf("\noffline (clairvoyant) utility: %.4f → online achieves %.1f%% of it\n",
+		offOut.Utility, 100*res.Outcome.Utility/offOut.Utility)
+}

@@ -1,0 +1,56 @@
+// Small-scale optimality check: on instances tiny enough for an exact
+// solver, compare the greedy schedulers against the true optimum and the
+// paper's proven bounds — Theorem 5.1's (1−ρ)(1−1/e) for the centralized
+// offline algorithm and Theorem 6.1's ½(1−ρ)(1−1/e) for the distributed
+// online one. The paper reports ≥ 92.97 % empirically; greedy is far
+// better in practice than its worst case.
+//
+//	go run ./examples/smallscale
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"haste"
+	"haste/internal/opt"
+)
+
+func main() {
+	offBound := (1 - 1.0/12) * (1 - 1/math.E)
+	onBound := offBound / 2
+	fmt.Printf("theoretical floors: offline %.3f, online %.3f\n\n", offBound, onBound)
+	fmt.Printf("%4s %8s %9s %9s %9s %9s\n", "seed", "OPT", "offline", "off/OPT", "online", "on/OPT")
+
+	var worstOff, worstOn = 1.0, 1.0
+	for seed := int64(1); seed <= 8; seed++ {
+		cfg := haste.SmallScaleWorkload()
+		in := cfg.Generate(rand.New(rand.NewSource(seed)))
+		p, err := haste.NewProblem(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		sol, err := opt.Solve(p, opt.Options{})
+		if err != nil {
+			fmt.Printf("%4d  (instance too large to certify: %v)\n", seed, err)
+			continue
+		}
+		off := haste.Simulate(p, haste.ScheduleOffline(p, haste.DefaultOptions(1)).Schedule)
+		on := haste.RunOnline(p, haste.OnlineOptions{Seed: seed}).Outcome
+
+		ro, rn := off.Utility/sol.Utility, on.Utility/sol.Utility
+		if ro < worstOff {
+			worstOff = ro
+		}
+		if rn < worstOn {
+			worstOn = rn
+		}
+		fmt.Printf("%4d %8.4f %9.4f %9.4f %9.4f %9.4f\n",
+			seed, sol.Utility, off.Utility, ro, on.Utility, rn)
+	}
+	fmt.Printf("\nworst observed ratios: offline %.4f (bound %.3f), online %.4f (bound %.3f)\n",
+		worstOff, offBound, worstOn, onBound)
+}

@@ -1,0 +1,3 @@
+module haste
+
+go 1.22

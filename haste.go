@@ -1,0 +1,143 @@
+// Package haste is a Go implementation of charging task scheduling for
+// directional wireless charger networks — the HASTE problem of Dai et al.
+// (ICPP 2018 / IEEE TMC 2021): given rotatable directional wireless
+// chargers on a 2D field and a stream of charging tasks
+// ⟨position, device orientation, release time, end time, required energy⟩,
+// schedule every charger's orientation per time slot to maximize the total
+// weighted charging utility U(x) = min(x/E_j, 1) of harvested energy.
+//
+// The package is a facade over the implementation packages:
+//
+//   - NewProblem precomputes dominant task sets (Algorithm 1) and the
+//     power matrix for an Instance.
+//   - ScheduleOffline is the centralized offline algorithm (Algorithm 2,
+//     TabularGreedy) with approximation ratio (1−ρ)(1−1/e).
+//   - RunOnline is the distributed online algorithm (Algorithm 3) with
+//     competitive ratio ½(1−ρ)(1−1/e), driven over a simulated message
+//     network with full communication accounting.
+//   - Simulate executes any schedule physically, applying the switching
+//     delay ρ.
+//   - GreedyUtility and GreedyCover are the paper's comparison baselines.
+//
+// A minimal end-to-end use:
+//
+//	in := haste.DefaultWorkload().Generate(rand.New(rand.NewSource(1)))
+//	p, err := haste.NewProblem(in)
+//	if err != nil { ... }
+//	res := haste.ScheduleOffline(p, haste.DefaultOptions(4))
+//	out := haste.Simulate(p, res.Schedule)
+//	fmt.Println("charging utility:", out.Utility)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of every table and figure in the paper's evaluation.
+package haste
+
+import (
+	"io"
+
+	"haste/internal/baseline"
+	"haste/internal/core"
+	"haste/internal/geom"
+	"haste/internal/instio"
+	"haste/internal/model"
+	"haste/internal/online"
+	"haste/internal/sim"
+	"haste/internal/workload"
+)
+
+// Geometry and problem-model types.
+type (
+	// Point is a 2D location in meters.
+	Point = geom.Point
+	// Charger is a static directional wireless charger.
+	Charger = model.Charger
+	// Task is a charging task five-tuple.
+	Task = model.Task
+	// Params holds the physical and scheduling constants (α, β, D, A_s,
+	// A_o, T_s, ρ, τ).
+	Params = model.Params
+	// Instance is a complete HASTE problem description.
+	Instance = model.Instance
+	// Utility is a charging-utility function; the paper's default is
+	// LinearBounded.
+	Utility = model.Utility
+	// LinearBounded is U(x) = min(x/E_j, 1) (Eq. 1 of the paper).
+	LinearBounded = model.LinearBounded
+)
+
+// Scheduling types.
+type (
+	// Problem is an Instance with dominant task sets and power matrix
+	// precomputed.
+	Problem = core.Problem
+	// Schedule assigns one dominant-set policy per charger per slot.
+	Schedule = core.Schedule
+	// Options configures the offline scheduler (colors, samples,
+	// tie-breaking).
+	Options = core.Options
+	// Result is an offline scheduling result.
+	Result = core.Result
+	// Outcome is the physically simulated result of executing a schedule.
+	Outcome = sim.Outcome
+	// OnlineOptions configures the distributed online scheduler.
+	OnlineOptions = online.Options
+	// OnlineResult is a distributed online run: executed orientations,
+	// physical outcome and communication statistics.
+	OnlineResult = online.Result
+	// WorkloadConfig generates random problem instances.
+	WorkloadConfig = workload.Config
+)
+
+// Deg converts degrees to radians (all API angles are radians).
+func Deg(d float64) float64 { return geom.Deg(d) }
+
+// NewProblem validates the instance and precomputes everything the
+// schedulers need (Algorithm 1 dominant-set extraction included).
+func NewProblem(in *Instance) (*Problem, error) { return core.NewProblem(in) }
+
+// DefaultOptions returns offline scheduler options for a color count C
+// (C = 1 is the exact locally greedy scheduler; larger C approaches the
+// 1−1/e ratio at higher cost).
+func DefaultOptions(colors int) Options { return core.DefaultOptions(colors) }
+
+// ScheduleOffline runs the centralized offline algorithm (Algorithm 2).
+func ScheduleOffline(p *Problem, opt Options) Result { return core.TabularGreedy(p, opt) }
+
+// Evaluate computes the relaxed HASTE-R objective of a schedule (no
+// switching delay) — the quantity the approximation guarantee bounds.
+func Evaluate(p *Problem, s Schedule) float64 { return core.Evaluate(p, s) }
+
+// Simulate executes a schedule on the physical model, charging covered
+// active tasks and applying the switching delay ρ.
+func Simulate(p *Problem, s Schedule) Outcome { return sim.Execute(p, s) }
+
+// RunOnline simulates the online scenario end to end: tasks arrive at
+// their release slots and the chargers renegotiate their orientations
+// through Algorithm 3's message protocol.
+func RunOnline(p *Problem, opt OnlineOptions) OnlineResult { return online.Run(p, opt) }
+
+// GreedyUtility is the comparison baseline where each charger maximizes
+// its own delivered utility without coordination.
+func GreedyUtility(p *Problem) Schedule { return baseline.GreedyUtility(p) }
+
+// GreedyCover is the comparison baseline where each charger covers as many
+// active tasks as possible.
+func GreedyCover(p *Problem) Schedule { return baseline.GreedyCover(p) }
+
+// SaveInstance writes an instance to w as versioned, human-editable JSON
+// (angles in degrees). See LoadInstance for the inverse.
+func SaveInstance(w io.Writer, in *Instance, comment string) error {
+	return instio.Save(w, in, comment)
+}
+
+// LoadInstance reads and validates an instance saved by SaveInstance or
+// written by hand (schema: internal/instio).
+func LoadInstance(r io.Reader) (*Instance, error) { return instio.Load(r) }
+
+// DefaultWorkload returns the paper's §7.1 simulation setup (50 m × 50 m,
+// 50 chargers, 200 tasks).
+func DefaultWorkload() WorkloadConfig { return workload.Default() }
+
+// SmallScaleWorkload returns the §7.3.1 setup used for optimality
+// comparisons (5 chargers, 10 tasks, 10 m × 10 m).
+func SmallScaleWorkload() WorkloadConfig { return workload.SmallScale() }

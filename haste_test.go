@@ -1,0 +1,72 @@
+package haste_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"haste"
+)
+
+// End-to-end through the public facade: generate, schedule, simulate.
+func TestFacadeOfflineRoundTrip(t *testing.T) {
+	cfg := haste.SmallScaleWorkload()
+	in := cfg.Generate(rand.New(rand.NewSource(1)))
+	p, err := haste.NewProblem(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := haste.ScheduleOffline(p, haste.DefaultOptions(1))
+	out := haste.Simulate(p, res.Schedule)
+	if out.Utility <= 0 || out.Utility > 1+1e-9 {
+		t.Fatalf("utility out of range: %v", out.Utility)
+	}
+	if out.Utility > res.RUtility+1e-9 {
+		t.Fatalf("physical %v exceeds relaxed %v", out.Utility, res.RUtility)
+	}
+	if rel := haste.Evaluate(p, res.Schedule); math.Abs(rel-res.RUtility) > 1e-9 {
+		t.Fatalf("Evaluate %v != RUtility %v", rel, res.RUtility)
+	}
+}
+
+func TestFacadeOnlineAndBaselines(t *testing.T) {
+	cfg := haste.SmallScaleWorkload()
+	cfg.NumChargers, cfg.NumTasks = 4, 8
+	in := cfg.Generate(rand.New(rand.NewSource(2)))
+	p, err := haste.NewProblem(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := haste.RunOnline(p, haste.OnlineOptions{Seed: 3})
+	if on.Outcome.Utility < 0 || on.Outcome.Utility > 1+1e-9 {
+		t.Fatalf("online utility out of range: %v", on.Outcome.Utility)
+	}
+	gu := haste.Simulate(p, haste.GreedyUtility(p))
+	gc := haste.Simulate(p, haste.GreedyCover(p))
+	if gu.Utility < 0 || gc.Utility < 0 {
+		t.Fatal("baseline utilities negative")
+	}
+}
+
+func TestFacadeManualInstance(t *testing.T) {
+	in := &haste.Instance{
+		Chargers: []haste.Charger{{ID: 0, Pos: haste.Point{X: 0, Y: 0}}},
+		Tasks: []haste.Task{{
+			ID: 0, Pos: haste.Point{X: 10, Y: 0}, Phi: math.Pi,
+			Release: 0, End: 2, Energy: 480, Weight: 1,
+		}},
+		Params: haste.Params{
+			Alpha: 10000, Beta: 40, Radius: 20,
+			ChargeAngle: haste.Deg(60), ReceiveAngle: haste.Deg(60),
+			SlotSeconds: 60, Rho: 0, Tau: 0,
+		},
+	}
+	p, err := haste.NewProblem(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := haste.ScheduleOffline(p, haste.DefaultOptions(1))
+	if math.Abs(res.RUtility-1) > 1e-9 {
+		t.Fatalf("RUtility = %v, want 1", res.RUtility)
+	}
+}

@@ -1,0 +1,93 @@
+package haste_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"haste"
+	"haste/internal/baseline"
+	"haste/internal/core"
+	"haste/internal/online"
+	"haste/internal/sim"
+	"haste/internal/workload"
+)
+
+// Full paper-scale integration run (§7.1: 50 chargers, 200 tasks): all
+// four algorithms plus the distributed online run on one instance, with
+// the qualitative relations the paper reports asserted end to end.
+// Skipped under -short.
+func TestPaperScalePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale pipeline skipped in -short mode")
+	}
+	in := workload.Default().Generate(rand.New(rand.NewSource(2026)))
+	p, err := core.NewProblem(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r1 := core.TabularGreedy(p, core.DefaultOptions(1))
+	h1 := sim.Execute(p, r1.Schedule)
+	r4 := core.TabularGreedy(p, core.Options{Colors: 4, PreferStay: true,
+		Rng: rand.New(rand.NewSource(1))})
+	h4 := sim.Execute(p, r4.Schedule)
+	gu := sim.Execute(p, baseline.GreedyUtility(p))
+	gc := sim.Execute(p, baseline.GreedyCover(p))
+	on := online.Run(p, online.Options{Seed: 1})
+
+	t.Logf("offline C1=%.4f C4=%.4f GU=%.4f GC=%.4f online=%.4f (msgs=%d)",
+		h1.Utility, h4.Utility, gu.Utility, gc.Utility,
+		on.Outcome.Utility, on.Stats.TotalMessages())
+
+	// The paper's ordering claims at default parameters.
+	if h1.Utility <= gu.Utility {
+		t.Errorf("HASTE C1 %.4f should beat GreedyUtility %.4f", h1.Utility, gu.Utility)
+	}
+	if h1.Utility <= gc.Utility {
+		t.Errorf("HASTE C1 %.4f should beat GreedyCover %.4f", h1.Utility, gc.Utility)
+	}
+	// Theorem 5.1's switching-delay accounting.
+	if h1.Utility < (1-in.Params.Rho)*r1.RUtility-1e-9 {
+		t.Errorf("physical %.4f below (1−ρ)·relaxed %.4f", h1.Utility, (1-in.Params.Rho)*r1.RUtility)
+	}
+	// Online loses to clairvoyant offline but stays in its ballpark.
+	if on.Outcome.Utility > h1.Utility+0.02 {
+		t.Errorf("online %.4f implausibly above offline %.4f", on.Outcome.Utility, h1.Utility)
+	}
+	if on.Outcome.Utility < 0.75*h1.Utility {
+		t.Errorf("online %.4f collapsed versus offline %.4f", on.Outcome.Utility, h1.Utility)
+	}
+	// Negotiations happened and messages flowed.
+	if on.Stats.TotalMessages() == 0 || len(on.Stats.Negotiations) == 0 {
+		t.Error("online run produced no communication")
+	}
+	// Every utility bounded by the total weight.
+	for name, u := range map[string]float64{
+		"C1": h1.Utility, "C4": h4.Utility, "GU": gu.Utility, "GC": gc.Utility,
+		"online": on.Outcome.Utility,
+	} {
+		if u < 0 || u > in.TotalWeight()+1e-9 || math.IsNaN(u) {
+			t.Errorf("%s utility out of range: %v", name, u)
+		}
+	}
+}
+
+// The facade and the internals must agree on the same instance.
+func TestFacadeMatchesInternals(t *testing.T) {
+	cfg := haste.SmallScaleWorkload()
+	in := cfg.Generate(rand.New(rand.NewSource(5)))
+	pf, err := haste.NewProblem(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := core.NewProblem(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uf := haste.ScheduleOffline(pf, haste.DefaultOptions(1)).RUtility
+	ui := core.TabularGreedy(pi, core.DefaultOptions(1)).RUtility
+	if math.Abs(uf-ui) > 1e-12 {
+		t.Fatalf("facade %v != internals %v", uf, ui)
+	}
+}

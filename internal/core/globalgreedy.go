@@ -1,0 +1,126 @@
+package core
+
+import "container/heap"
+
+// GlobalGreedy is the classic greedy algorithm for submodular maximization
+// under a matroid constraint applied to HASTE-R: repeatedly commit the
+// (partition, policy) element with the largest marginal gain over the
+// whole ground set until every partition Θ_{i,k} is filled. Like the C = 1
+// TabularGreedy it guarantees a ½-approximation [Nemhauser et al. 1978],
+// but it visits partitions in data-driven rather than fixed order.
+//
+// With lazy = true the marginals are evaluated lazily: because marginals
+// only shrink as the solution grows (submodularity of f, Lemma 4.2), a
+// partition's previously computed best marginal is a valid upper bound, so
+// a priority queue re-evaluates a partition only when its stale bound
+// reaches the top. With lazy = false every remaining partition is
+// re-evaluated each round (the textbook quadratic implementation). Both
+// use the same deterministic tie order (gain, then slot, then charger) and
+// produce identical schedules; BenchmarkAblationLazy compares their cost.
+func GlobalGreedy(p *Problem, lazy bool) Result {
+	n, K := len(p.In.Chargers), p.K
+	sched := NewSchedule(n, K)
+	if n == 0 || K == 0 {
+		return Result{Schedule: sched}
+	}
+	es := NewEnergyState(p)
+	if lazy {
+		globalGreedyLazy(p, es, &sched)
+	} else {
+		globalGreedyEager(p, es, &sched)
+	}
+	return Result{Schedule: sched, RUtility: es.Total()}
+}
+
+func globalGreedyEager(p *Problem, es *EnergyState, sched *Schedule) {
+	n, K := len(p.In.Chargers), p.K
+	done := make([]bool, n*K)
+	for committed := 0; committed < n*K; committed++ {
+		bestI, bestK, bestPol, bestGain := -1, -1, 0, -1.0
+		for k := 0; k < K; k++ {
+			for i := 0; i < n; i++ {
+				if done[i*K+k] {
+					continue
+				}
+				pol, gain := bestPolicy(p, es, i, k)
+				if gain > bestGain {
+					bestI, bestK, bestPol, bestGain = i, k, pol, gain
+				}
+			}
+		}
+		done[bestI*K+bestK] = true
+		sched.Policy[bestI][bestK] = bestPol
+		es.Apply(bestI, bestK, bestPol)
+	}
+}
+
+func globalGreedyLazy(p *Problem, es *EnergyState, sched *Schedule) {
+	pq := make(partHeap, 0, len(p.In.Chargers)*p.K)
+	for i := range p.In.Chargers {
+		for k := 0; k < p.K; k++ {
+			pol, gain := bestPolicy(p, es, i, k)
+			pq = append(pq, &partItem{i: i, k: k, bound: gain, pol: pol, version: 0})
+		}
+	}
+	heap.Init(&pq)
+	version := 0 // bumped after every commit; items with older stamps are stale
+	for pq.Len() > 0 {
+		top := pq[0]
+		if top.version != version {
+			pol, gain := bestPolicy(p, es, top.i, top.k)
+			top.pol, top.bound, top.version = pol, gain, version
+			heap.Fix(&pq, 0)
+			continue
+		}
+		heap.Pop(&pq)
+		sched.Policy[top.i][top.k] = top.pol
+		es.Apply(top.i, top.k, top.pol)
+		version++
+	}
+}
+
+// bestPolicy returns the argmax policy and marginal for partition (i,k)
+// under the current state, breaking ties toward the lowest index.
+func bestPolicy(p *Problem, es *EnergyState, i, k int) (int, float64) {
+	best, bestGain := 0, -1.0
+	for pol := range p.Gamma[i] {
+		if g := es.Marginal(i, k, pol); g > bestGain {
+			best, bestGain = pol, g
+		}
+	}
+	return best, bestGain
+}
+
+// partItem is a partition Θ_{i,k} whose bound on the best marginal gain
+// was computed at the given commit version (stale when versions differ).
+type partItem struct {
+	i, k    int
+	bound   float64
+	pol     int
+	version int
+}
+
+// partHeap orders partitions by (bound desc, slot asc, charger asc); the
+// secondary keys make lazy and eager greedy commit identical elements on
+// exact marginal ties.
+type partHeap []*partItem
+
+func (h partHeap) Len() int      { return len(h) }
+func (h partHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h partHeap) Less(a, b int) bool {
+	if h[a].bound != h[b].bound {
+		return h[a].bound > h[b].bound
+	}
+	if h[a].k != h[b].k {
+		return h[a].k < h[b].k
+	}
+	return h[a].i < h[b].i
+}
+func (h *partHeap) Push(x interface{}) { *h = append(*h, x.(*partItem)) }
+func (h *partHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

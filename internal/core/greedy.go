@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math/rand"
+)
+
+// Options configures the centralized offline algorithm.
+type Options struct {
+	// Colors is the control parameter C of TabularGreedy. C = 1 collapses
+	// to the locally greedy algorithm (½-approximation); growing C pushes
+	// the ratio toward 1−1/e at higher cost. Defaults to 1.
+	Colors int
+
+	// Samples is the number of Monte-Carlo color vectors used to estimate
+	// the expectation 𝔽(Q) = E_c[f(sample_c(Q))] when Colors > 1 (common
+	// random numbers: the same vectors are used throughout a run).
+	// Defaults to 8·Colors. Ignored when Colors == 1, where the
+	// expectation is exact.
+	Samples int
+
+	// Rng drives color sampling. Defaults to a deterministic source so
+	// runs are reproducible; pass rand.New(rand.NewSource(seed)) to vary.
+	Rng *rand.Rand
+
+	// PreferStay breaks exact marginal ties in favor of the policy chosen
+	// in the previous slot, which avoids gratuitous orientation switches
+	// (and hence switching-delay losses) once tasks saturate. Defaults to
+	// true via DefaultOptions.
+	PreferStay bool
+}
+
+// DefaultOptions returns the options used by the paper's experiments for
+// a given color count.
+func DefaultOptions(colors int) Options {
+	return Options{Colors: colors, PreferStay: true}
+}
+
+func (o Options) normalize() Options {
+	if o.Colors < 1 {
+		o.Colors = 1
+	}
+	// Colors are stored in a byte-sized table; beyond a few dozen the
+	// approximation gain is < (nK choose 2)/C anyway (Lemma 5.1).
+	if o.Colors > 255 {
+		o.Colors = 255
+	}
+	if o.Colors == 1 {
+		o.Samples = 1
+	} else if o.Samples <= 0 {
+		o.Samples = 8 * o.Colors
+	}
+	if o.Rng == nil {
+		o.Rng = rand.New(rand.NewSource(1))
+	}
+	return o
+}
+
+// Result is the output of an offline scheduling run.
+type Result struct {
+	Schedule Schedule
+	RUtility float64 // HASTE-R objective f(X) of the schedule
+}
+
+// TabularGreedy is Algorithm 2, the centralized offline algorithm for
+// HASTE. For every color c ∈ [C] it sweeps all partitions Θ_{i,k} in slot-
+// major order and greedily assigns the policy maximizing the (estimated)
+// expected marginal gain 𝔽(Q + x) − 𝔽(Q) over the samples whose color for
+// that partition equals c. Finally each partition samples one of its C
+// assignments uniformly at random. With C = 1 this is exactly the locally
+// greedy ½-approximation; as C → ∞ the approximation ratio approaches
+// 1−1/e (Lemma 5.1), and accounting for switching delay the overall
+// guarantee is (1−ρ)(1−1/e) (Theorem 5.1).
+func TabularGreedy(p *Problem, opt Options) Result {
+	opt = opt.normalize()
+	n, K, C, N := len(p.In.Chargers), p.K, opt.Colors, opt.Samples
+
+	sched := NewSchedule(n, K)
+	if K == 0 || n == 0 {
+		return Result{Schedule: sched}
+	}
+
+	// colorOf[s][i*K+k]: the color each sample assigns to partition (i,k).
+	colorOf := make([][]uint8, N)
+	for s := range colorOf {
+		v := make([]uint8, n*K)
+		for idx := range v {
+			v[idx] = uint8(opt.Rng.Intn(C))
+		}
+		colorOf[s] = v
+	}
+
+	states := make([]*EnergyState, N)
+	for s := range states {
+		states[s] = NewEnergyState(p)
+	}
+
+	// q[i][k*C+c]: the S-C tuple table Q — the policy assigned to
+	// partition (i,k) in color round c.
+	q := make([][]int32, n)
+	for i := range q {
+		row := make([]int32, K*C)
+		for idx := range row {
+			row[idx] = -1
+		}
+		q[i] = row
+	}
+
+	affected := make([]int, 0, N)
+	for c := 0; c < C; c++ {
+		for k := 0; k < K; k++ {
+			for i := 0; i < n; i++ {
+				affected = affected[:0]
+				for s := 0; s < N; s++ {
+					if int(colorOf[s][i*K+k]) == c {
+						affected = append(affected, s)
+					}
+				}
+				prev := int32(-1)
+				if opt.PreferStay && k > 0 {
+					prev = q[i][(k-1)*C+c]
+				}
+				best := selectPolicy(p, states, affected, i, k, int(prev), opt.PreferStay)
+				q[i][k*C+c] = int32(best)
+				for _, s := range affected {
+					states[s].Apply(i, k, best)
+				}
+			}
+		}
+	}
+
+	// Line 6–8 of Algorithm 2: sample one color per partition.
+	for i := 0; i < n; i++ {
+		for k := 0; k < K; k++ {
+			c := opt.Rng.Intn(C)
+			sched.Policy[i][k] = int(q[i][k*C+c])
+		}
+	}
+	return Result{Schedule: sched, RUtility: Evaluate(p, sched)}
+}
+
+// selectPolicy returns the policy index for partition (i,k) maximizing the
+// summed marginal over the affected sample states, breaking exact ties
+// toward prev (when preferStay) and then toward the lowest index.
+func selectPolicy(p *Problem, states []*EnergyState, affected []int, i, k, prev int, preferStay bool) int {
+	best, bestGain := 0, -1.0
+	for pol := range p.Gamma[i] {
+		var gain float64
+		for _, s := range affected {
+			gain += states[s].Marginal(i, k, pol)
+		}
+		if gain > bestGain {
+			best, bestGain = pol, gain
+			continue
+		}
+		if preferStay && gain == bestGain && pol == prev && best != prev {
+			best = pol
+		}
+	}
+	return best
+}

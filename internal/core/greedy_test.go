@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"haste/internal/geom"
+	"haste/internal/model"
+)
+
+func TestTabularGreedyEmptyProblem(t *testing.T) {
+	in := oneTaskInstance(480, 0, 2)
+	in.Tasks = nil
+	p := mustProblem(t, in)
+	res := TabularGreedy(p, DefaultOptions(1))
+	if res.RUtility != 0 {
+		t.Errorf("utility on empty task set = %v", res.RUtility)
+	}
+}
+
+func TestTabularGreedyFillsAllPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for _, colors := range []int{1, 4} {
+		in := randomFieldInstance(rng, 5, 20, 8, 40)
+		p := mustProblem(t, in)
+		res := TabularGreedy(p, Options{Colors: colors, PreferStay: true})
+		for i, row := range res.Schedule.Policy {
+			if len(row) != p.K {
+				t.Fatalf("charger %d schedule has %d slots, want %d", i, len(row), p.K)
+			}
+			for k, pol := range row {
+				if pol < 0 || pol >= len(p.Gamma[i]) {
+					t.Fatalf("C=%d: invalid policy %d at (%d,%d)", colors, pol, i, k)
+				}
+			}
+		}
+		if got := Evaluate(p, res.Schedule); !almostEq(got, res.RUtility) {
+			t.Fatalf("C=%d: RUtility %v != Evaluate %v", colors, res.RUtility, got)
+		}
+		if res.RUtility < 0 || res.RUtility > in.TotalWeight()+1e-9 {
+			t.Fatalf("C=%d: utility %v outside [0, %v]", colors, res.RUtility, in.TotalWeight())
+		}
+	}
+}
+
+func TestTabularGreedyDeterministicForC1(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	in := randomFieldInstance(rng, 5, 20, 8, 40)
+	p := mustProblem(t, in)
+	a := TabularGreedy(p, DefaultOptions(1))
+	b := TabularGreedy(p, DefaultOptions(1))
+	for i := range a.Schedule.Policy {
+		for k := range a.Schedule.Policy[i] {
+			if a.Schedule.Policy[i][k] != b.Schedule.Policy[i][k] {
+				t.Fatalf("C=1 nondeterministic at (%d,%d)", i, k)
+			}
+		}
+	}
+}
+
+// The locally greedy algorithm guarantees f(greedy) ≥ ½·f(X) for every
+// feasible X (it is ½-approximate against OPT). Check against random
+// feasible schedules.
+func TestTabularGreedyHalfApproxAgainstRandomSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 20; trial++ {
+		in := randomFieldInstance(rng, 4, 12, 6, 30)
+		p := mustProblem(t, in)
+		res := TabularGreedy(p, DefaultOptions(1))
+		for x := 0; x < 20; x++ {
+			s := NewSchedule(len(in.Chargers), p.K)
+			for i := range s.Policy {
+				for k := range s.Policy[i] {
+					s.Policy[i][k] = rng.Intn(len(p.Gamma[i]))
+				}
+			}
+			if u := Evaluate(p, s); res.RUtility < u/2-1e-9 {
+				t.Fatalf("trial %d: greedy %v < ½·%v", trial, res.RUtility, u)
+			}
+		}
+	}
+}
+
+// PreferStay must keep the previous policy on exact marginal ties instead
+// of jumping back to the lowest index.
+func TestTabularGreedyPreferStay(t *testing.T) {
+	// Charger at origin. Task 0 (policy 0, azimuth 0°) saturates within
+	// one slot; task 1 (policy 1, azimuth 180°) needs exactly two slots.
+	// Greedy picks pol0@k0, pol1@k1, pol1@k2; from k3 on all marginals are
+	// zero: PreferStay keeps pol1, without it the charger flips to pol0.
+	in := &model.Instance{
+		Chargers: []model.Charger{{ID: 0, Pos: geom.Point{X: 0, Y: 0}}},
+		Tasks: []model.Task{
+			{ID: 0, Pos: geom.Point{X: 10, Y: 0}, Phi: math.Pi, Release: 0, End: 5, Energy: 240, Weight: 0.5},
+			{ID: 1, Pos: geom.Point{X: -10, Y: 0}, Phi: 0, Release: 0, End: 5, Energy: 480, Weight: 0.5},
+		},
+		Params: model.Params{
+			Alpha: 10000, Beta: 40, Radius: 20,
+			ChargeAngle: geom.Deg(60), ReceiveAngle: geom.Deg(60),
+			SlotSeconds: 60, Rho: 0, Tau: 0,
+		},
+	}
+	p := mustProblem(t, in)
+	if len(p.Gamma[0]) != 2 {
+		t.Fatalf("want 2 policies, got %v", p.Gamma[0])
+	}
+	// Identify which policy covers task 0.
+	pol0 := 0
+	if p.Gamma[0][0].Covers[0] != 0 {
+		pol0 = 1
+	}
+	pol1 := 1 - pol0
+
+	stay := TabularGreedy(p, Options{Colors: 1, PreferStay: true})
+	want := []int{pol0, pol1, pol1, pol1, pol1}
+	for k, w := range want {
+		if got := stay.Schedule.Policy[0][k]; got != w {
+			t.Errorf("PreferStay slot %d = %d, want %d", k, got, w)
+		}
+	}
+	noStay := TabularGreedy(p, Options{Colors: 1, PreferStay: false})
+	if got := noStay.Schedule.Policy[0][3]; got != pol0 {
+		t.Errorf("without PreferStay slot 3 = %d, want lowest index %d", got, pol0)
+	}
+	// Utilities identical either way: both saturate both tasks.
+	if !almostEq(stay.RUtility, 1) || !almostEq(noStay.RUtility, 1) {
+		t.Errorf("utilities = %v, %v, want 1", stay.RUtility, noStay.RUtility)
+	}
+}
+
+// More colors should not hurt much; on average they help (Figs. 7/15).
+func TestTabularGreedyColorsSanity(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	var sum1, sum4 float64
+	for trial := 0; trial < 10; trial++ {
+		in := randomFieldInstance(rng, 5, 24, 8, 40)
+		p := mustProblem(t, in)
+		u1 := TabularGreedy(p, Options{Colors: 1, PreferStay: true}).RUtility
+		u4 := TabularGreedy(p, Options{Colors: 4, PreferStay: true,
+			Rng: rand.New(rand.NewSource(int64(trial)))}).RUtility
+		sum1 += u1
+		sum4 += u4
+		if u4 < 0.8*u1 {
+			t.Errorf("trial %d: C=4 utility %v collapsed vs C=1 %v", trial, u4, u1)
+		}
+	}
+	if sum4 < 0.95*sum1 {
+		t.Errorf("C=4 aggregate %v much worse than C=1 %v", sum4, sum1)
+	}
+}
+
+func TestGlobalGreedyMatchesLazyAndEager(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 15; trial++ {
+		in := randomFieldInstance(rng, 4, 15, 6, 30)
+		p := mustProblem(t, in)
+		eager := GlobalGreedy(p, false)
+		lazy := GlobalGreedy(p, true)
+		if math.Abs(eager.RUtility-lazy.RUtility) > 1e-6 {
+			t.Fatalf("trial %d: eager %v != lazy %v", trial, eager.RUtility, lazy.RUtility)
+		}
+		if got := Evaluate(p, lazy.Schedule); !almostEq(got, lazy.RUtility) {
+			t.Fatalf("lazy RUtility inconsistent: %v vs %v", lazy.RUtility, got)
+		}
+	}
+}
+
+// Global greedy and locally greedy are both valid ½-approximations and
+// should land in the same ballpark.
+func TestGlobalGreedyComparableToLocal(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	for trial := 0; trial < 10; trial++ {
+		in := randomFieldInstance(rng, 5, 20, 6, 35)
+		p := mustProblem(t, in)
+		local := TabularGreedy(p, DefaultOptions(1)).RUtility
+		global := GlobalGreedy(p, true).RUtility
+		if global < 0.5*local-1e-9 || local < 0.5*global-1e-9 {
+			t.Fatalf("trial %d: local %v vs global %v diverge beyond ½", trial, local, global)
+		}
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	o := Options{}.normalize()
+	if o.Colors != 1 || o.Samples != 1 || o.Rng == nil {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+	o = Options{Colors: 4}.normalize()
+	if o.Samples != 32 {
+		t.Errorf("Samples default = %d, want 32", o.Samples)
+	}
+	o = Options{Colors: 4, Samples: 10}.normalize()
+	if o.Samples != 10 {
+		t.Errorf("explicit Samples overridden: %d", o.Samples)
+	}
+	o = Options{Colors: 1000}.normalize()
+	if o.Colors != 255 {
+		t.Errorf("Colors not clamped: %d", o.Colors)
+	}
+}

@@ -1,0 +1,245 @@
+// Package core implements the paper's primary contribution: the HASTE-R
+// objective (problem RP2) and the centralized offline scheduling algorithm
+// (Algorithm 2, a tailored TabularGreedy over S-C tuples) together with a
+// lazy global-greedy variant used for ablation.
+//
+// A Problem bundles a model.Instance with the precomputed dominant task
+// sets Γ_i (Algorithm 1) and the per-pair power matrix P_r(s_i, o_j). A
+// Schedule fixes one dominant-set policy per charger per time slot — one
+// element from every partition Θ_{i,k} of the partition matroid — and
+// Evaluate computes the HASTE-R utility Σ_j w_j·U(harvested energy_j),
+// ignoring switching delay. The switching-delay-aware HASTE utility of a
+// schedule is computed by package sim.
+package core
+
+import (
+	"fmt"
+
+	"haste/internal/dominant"
+	"haste/internal/model"
+)
+
+// Problem is a HASTE instance with everything precomputed that the
+// schedulers need: dominant task sets per charger, the time horizon K, and
+// the energy each covered task harvests from each charger per slot.
+type Problem struct {
+	In    *model.Instance
+	Gamma [][]dominant.Policy // Γ_i for every charger
+	K     int                 // number of time slots spanned by the tasks
+
+	// slotEnergy[i][j] = P_r(s_i, o_j)·T_s: energy task j harvests during
+	// one full slot in which charger i covers it. Zero if not chargeable.
+	slotEnergy [][]float64
+}
+
+// NewProblem validates the instance, extracts the dominant task sets of
+// every charger and precomputes the power matrix.
+func NewProblem(in *model.Instance) (*Problem, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	p := &Problem{
+		In:    in,
+		Gamma: dominant.ExtractAll(in),
+		K:     in.Horizon(),
+	}
+	p.slotEnergy = make([][]float64, len(in.Chargers))
+	for i, c := range in.Chargers {
+		row := make([]float64, len(in.Tasks))
+		for j, t := range in.Tasks {
+			if in.Params.Chargeable(c, t) {
+				pw := in.Params.PowerBetween(c.Pos, t.Pos)
+				if in.Params.AnisotropicGain {
+					pw *= in.Params.ReceiveGain(c, t)
+				}
+				row[j] = pw * in.Params.SlotSeconds
+			}
+		}
+		p.slotEnergy[i] = row
+	}
+	return p, nil
+}
+
+// SlotEnergy returns the energy task j harvests from charger i over one
+// full covered slot (0 when the pair is not chargeable).
+func (p *Problem) SlotEnergy(i, j int) float64 { return p.slotEnergy[i][j] }
+
+// Schedule assigns each charger one policy index per time slot:
+// Policy[i][k] indexes into Gamma[i]; -1 means unassigned (the charger
+// keeps whatever orientation it had and covers nothing that the objective
+// credits). A fully assigned Schedule is a basis of the partition matroid.
+type Schedule struct {
+	Policy [][]int
+}
+
+// NewSchedule returns an all-unassigned schedule for n chargers over K
+// slots.
+func NewSchedule(n, k int) Schedule {
+	s := Schedule{Policy: make([][]int, n)}
+	for i := range s.Policy {
+		row := make([]int, k)
+		for j := range row {
+			row[j] = -1
+		}
+		s.Policy[i] = row
+	}
+	return s
+}
+
+// Clone deep-copies the schedule.
+func (s Schedule) Clone() Schedule {
+	c := Schedule{Policy: make([][]int, len(s.Policy))}
+	for i, row := range s.Policy {
+		c.Policy[i] = append([]int(nil), row...)
+	}
+	return c
+}
+
+// Slots returns the number of slots the schedule spans.
+func (s Schedule) Slots() int {
+	if len(s.Policy) == 0 {
+		return 0
+	}
+	return len(s.Policy[0])
+}
+
+// EnergyState tracks the energy accumulated by every task under a
+// partially built schedule and maintains the HASTE-R objective value
+// incrementally. Marginals are exactly the quantities the greedy
+// algorithms compare; thanks to the concavity of U they shrink as energy
+// accumulates, which is what makes f submodular (Lemma 4.2).
+type EnergyState struct {
+	p      *Problem
+	energy []float64 // joules harvested per task
+	total  float64   // Σ_j w_j · U(energy_j)
+}
+
+// NewEnergyState returns the empty state (f(∅) = 0).
+func NewEnergyState(p *Problem) *EnergyState {
+	return &EnergyState{p: p, energy: make([]float64, len(p.In.Tasks))}
+}
+
+// Reset clears accumulated energy, reusing the allocation.
+func (es *EnergyState) Reset() {
+	for j := range es.energy {
+		es.energy[j] = 0
+	}
+	es.total = 0
+}
+
+// Clone deep-copies the state.
+func (es *EnergyState) Clone() *EnergyState {
+	return &EnergyState{p: es.p, energy: append([]float64(nil), es.energy...), total: es.total}
+}
+
+// Total returns the current objective value Σ_j w_j·U(e_j).
+func (es *EnergyState) Total() float64 { return es.total }
+
+// Energy returns the energy task j has accumulated so far.
+func (es *EnergyState) Energy(j int) float64 { return es.energy[j] }
+
+// Marginal returns the objective increase of assigning policy pol to
+// charger i at slot k on top of the current state: only tasks covered by
+// the policy AND active during slot k accrue energy.
+func (es *EnergyState) Marginal(i, k, pol int) float64 {
+	u := es.p.In.U()
+	var gain float64
+	for _, j := range es.p.Gamma[i][pol].Covers {
+		t := &es.p.In.Tasks[j]
+		if !t.ActiveAt(k) {
+			continue
+		}
+		de := es.p.slotEnergy[i][j]
+		if de == 0 {
+			continue
+		}
+		gain += t.Weight * (u.Of(es.energy[j]+de, t.Energy) - u.Of(es.energy[j], t.Energy))
+	}
+	return gain
+}
+
+// MarginalScaled is Marginal with the per-slot energy contribution scaled
+// by frac ∈ [0,1]; used by the switching-delay-aware simulation where a
+// rotating charger only radiates for the trailing 1−ρ of a slot.
+func (es *EnergyState) MarginalScaled(i, k, pol int, frac float64) float64 {
+	u := es.p.In.U()
+	var gain float64
+	for _, j := range es.p.Gamma[i][pol].Covers {
+		t := &es.p.In.Tasks[j]
+		if !t.ActiveAt(k) {
+			continue
+		}
+		de := es.p.slotEnergy[i][j] * frac
+		if de == 0 {
+			continue
+		}
+		gain += t.Weight * (u.Of(es.energy[j]+de, t.Energy) - u.Of(es.energy[j], t.Energy))
+	}
+	return gain
+}
+
+// Apply commits policy pol for charger i at slot k, updating energies and
+// the objective, and returns the realized gain.
+func (es *EnergyState) Apply(i, k, pol int) float64 {
+	return es.ApplyScaled(i, k, pol, 1)
+}
+
+// ApplyScaled commits the policy with its per-slot energy scaled by frac.
+func (es *EnergyState) ApplyScaled(i, k, pol int, frac float64) float64 {
+	u := es.p.In.U()
+	var gain float64
+	for _, j := range es.p.Gamma[i][pol].Covers {
+		t := &es.p.In.Tasks[j]
+		if !t.ActiveAt(k) {
+			continue
+		}
+		de := es.p.slotEnergy[i][j] * frac
+		if de == 0 {
+			continue
+		}
+		gain += t.Weight * (u.Of(es.energy[j]+de, t.Energy) - u.Of(es.energy[j], t.Energy))
+		es.energy[j] += de
+	}
+	es.total += gain
+	return gain
+}
+
+// Restore rewinds the given tasks' energies and the objective total to a
+// previously captured snapshot. It lets a backtracking search (package
+// opt) undo a policy application without copying the whole state; callers
+// must pass exactly the energies that were captured before the Apply.
+func (es *EnergyState) Restore(ids []int, vals []float64, total float64) {
+	for idx, j := range ids {
+		es.energy[j] = vals[idx]
+	}
+	es.total = total
+}
+
+// Evaluate computes the HASTE-R objective f(X) of a schedule: the total
+// weighted utility with every assigned slot counted in full (no switching
+// delay).
+func Evaluate(p *Problem, s Schedule) float64 {
+	es := NewEnergyState(p)
+	for i, row := range s.Policy {
+		for k, pol := range row {
+			if pol >= 0 {
+				es.Apply(i, k, pol)
+			}
+		}
+	}
+	return es.Total()
+}
+
+// PerTaskEnergies returns each task's harvested energy under the schedule
+// (HASTE-R accounting, no switching delay).
+func PerTaskEnergies(p *Problem, s Schedule) []float64 {
+	es := NewEnergyState(p)
+	for i, row := range s.Policy {
+		for k, pol := range row {
+			if pol >= 0 {
+				es.Apply(i, k, pol)
+			}
+		}
+	}
+	return append([]float64(nil), es.energy...)
+}

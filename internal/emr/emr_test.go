@@ -1,0 +1,170 @@
+package emr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"haste/internal/core"
+	"haste/internal/geom"
+	"haste/internal/model"
+	"haste/internal/workload"
+)
+
+func mustProblem(t *testing.T, in *model.Instance) *core.Problem {
+	t.Helper()
+	p, err := core.NewProblem(in)
+	if err != nil {
+		t.Fatalf("NewProblem: %v", err)
+	}
+	return p
+}
+
+func smallInstance(seed int64) *model.Instance {
+	cfg := workload.SmallScale()
+	cfg.NumChargers, cfg.NumTasks = 6, 12
+	cfg.FieldSide = 15
+	cfg.Params.ReceiveAngle = geom.Deg(120)
+	return cfg.Generate(rand.New(rand.NewSource(seed)))
+}
+
+func TestGrid(t *testing.T) {
+	pts := Grid(10, 5)
+	if len(pts) != 9 { // 3×3
+		t.Fatalf("grid has %d points, want 9", len(pts))
+	}
+	if pts[0] != (geom.Point{X: 0, Y: 0}) || pts[len(pts)-1] != (geom.Point{X: 10, Y: 10}) {
+		t.Errorf("grid corners wrong: %v … %v", pts[0], pts[len(pts)-1])
+	}
+	if len(Grid(10, 0)) != 0 {
+		t.Error("zero spacing should give no points")
+	}
+}
+
+func TestSlotIntensities(t *testing.T) {
+	in := &model.Instance{
+		Chargers: []model.Charger{{ID: 0, Pos: geom.Point{X: 0, Y: 0}}},
+		Tasks: []model.Task{{ID: 0, Pos: geom.Point{X: 10, Y: 0}, Phi: math.Pi,
+			Release: 0, End: 2, Energy: 100, Weight: 1}},
+		Params: model.Params{
+			Alpha: 10000, Beta: 40, Radius: 20,
+			ChargeAngle: geom.Deg(60), ReceiveAngle: geom.Deg(60),
+			SlotSeconds: 60, Rho: 0, Tau: 0,
+		},
+	}
+	f := Field{
+		Points: []geom.Point{{X: 10, Y: 0}, {X: -10, Y: 0}, {X: 30, Y: 0}},
+		Gamma:  2,
+	}
+	// Charger aimed along +x: only the first point is irradiated.
+	got := f.SlotIntensities(in, []float64{0})
+	want := 2 * in.Params.Power(10)
+	if math.Abs(got[0]-want) > 1e-9 {
+		t.Errorf("intensity at covered point = %v, want %v", got[0], want)
+	}
+	if got[1] != 0 || got[2] != 0 {
+		t.Errorf("uncovered points irradiated: %v", got)
+	}
+	// Off charger: nothing anywhere.
+	for _, e := range f.SlotIntensities(in, []float64{math.NaN()}) {
+		if e != 0 {
+			t.Error("off charger radiated")
+		}
+	}
+}
+
+// The constrained schedule must never violate the threshold, and its
+// utility can only shrink as the threshold tightens.
+func TestConstrainedGreedySafetyAndMonotonicity(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		in := smallInstance(seed)
+		p := mustProblem(t, in)
+		grid := Grid(15, 3)
+
+		unconstrained := core.TabularGreedy(p, core.DefaultOptions(1))
+		prevU := math.Inf(1)
+		for _, limit := range []float64{math.Inf(1), 50, 20, 8, 2, 0.5} {
+			f := Field{Points: grid, Gamma: 1, Limit: limit}
+			res := ConstrainedGreedy(p, f)
+			peak, viol := f.Audit(p, res.Schedule)
+			_ = peak
+			if math.IsInf(limit, 1) {
+				// With no constraint the schedule matches the
+				// unconstrained locally greedy exactly.
+				if math.Abs(res.RUtility-unconstrained.RUtility) > 1e-9 {
+					t.Fatalf("seed %d: unconstrained mismatch: %v vs %v",
+						seed, res.RUtility, unconstrained.RUtility)
+				}
+			}
+			if viol != 0 {
+				t.Fatalf("seed %d limit %v: %d violations", seed, limit, viol)
+			}
+			if res.RUtility > prevU+1e-9 {
+				t.Fatalf("seed %d: utility grew as limit tightened: %v > %v",
+					seed, res.RUtility, prevU)
+			}
+			prevU = res.RUtility
+		}
+	}
+}
+
+func TestConstrainedGreedyZeroLimitTurnsEverythingOff(t *testing.T) {
+	in := smallInstance(1)
+	p := mustProblem(t, in)
+	f := Field{Points: Grid(15, 3), Gamma: 1, Limit: 0}
+	res := ConstrainedGreedy(p, f)
+	if res.RUtility != 0 {
+		t.Fatalf("utility %v with zero EMR budget", res.RUtility)
+	}
+	u, _ := ExecuteOff(p, res.Schedule)
+	if u != 0 {
+		t.Fatalf("executed utility %v with zero EMR budget", u)
+	}
+}
+
+func TestExecuteOffSemantics(t *testing.T) {
+	in := &model.Instance{
+		Chargers: []model.Charger{{ID: 0, Pos: geom.Point{X: 0, Y: 0}}},
+		Tasks: []model.Task{{ID: 0, Pos: geom.Point{X: 10, Y: 0}, Phi: math.Pi,
+			Release: 0, End: 4, Energy: 1e6, Weight: 1}},
+		Params: model.Params{
+			Alpha: 10000, Beta: 40, Radius: 20,
+			ChargeAngle: geom.Deg(60), ReceiveAngle: geom.Deg(60),
+			SlotSeconds: 60, Rho: 0.25, Tau: 0,
+		},
+	}
+	p := mustProblem(t, in)
+	s := core.NewSchedule(1, p.K)
+	s.Policy[0][0] = 0
+	// Slot 1 off, slot 2 on again with the same orientation: no second
+	// switching penalty (the head kept its position while off).
+	s.Policy[0][2] = 0
+	u, perTask := ExecuteOff(p, s)
+	wantE := 240*(1-0.25) + 0 + 240
+	if got := perTask[0] * 1e6; math.Abs(got-wantE) > 1e-6 {
+		t.Errorf("energy = %v, want %v", got, wantE)
+	}
+	if u != perTask[0] {
+		t.Errorf("weighted utility mismatch")
+	}
+}
+
+// The EMR audit of an unconstrained schedule must find violations when
+// the threshold is below the achievable peak.
+func TestAuditFindsViolations(t *testing.T) {
+	in := smallInstance(2)
+	p := mustProblem(t, in)
+	res := core.TabularGreedy(p, core.DefaultOptions(1))
+	f := Field{Points: Grid(15, 3), Gamma: 1, Limit: math.Inf(1)}
+	peak, viol := f.Audit(p, res.Schedule)
+	if viol != 0 {
+		t.Fatalf("infinite limit reported %d violations", viol)
+	}
+	if peak <= 0 {
+		t.Fatal("no radiation observed at all")
+	}
+	f.Limit = peak / 2
+	if _, viol = f.Audit(p, res.Schedule); viol == 0 {
+		t.Fatal("audit missed violations below the peak")
+	}
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options {
+	return Options{Reps: 1, Seed: 7, Quick: true}
+}
+
+// Every registered experiment must run and produce a non-empty table.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(quickOpts())
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s: empty table", e.ID)
+			}
+			if len(tbl.Columns) < 2 {
+				t.Fatalf("%s: too few columns: %v", e.ID, tbl.Columns)
+			}
+			for r, row := range tbl.Rows {
+				if len(row) != len(tbl.Columns) {
+					t.Fatalf("%s row %d: %d cells for %d columns", e.ID, r, len(row), len(tbl.Columns))
+				}
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("fig4"); err != nil {
+		t.Errorf("fig4 missing: %v", err)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Error("bogus ID accepted")
+	}
+	// IDs unique.
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate ID %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+// The utility columns of the sweep figures must stay within [0, 1].
+func TestUtilitiesInRange(t *testing.T) {
+	for _, id := range []string{"fig4", "fig6", "fig12"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := e.Run(quickOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		for _, row := range tbl.Rows {
+			for _, cell := range row[1:] {
+				v, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					continue
+				}
+				if v < 0 || v > 1.0001 {
+					t.Errorf("%s: utility %v out of range in row %v", id, v, row)
+				}
+			}
+		}
+	}
+}
+
+// Fig. 4's core qualitative claim: utility increases with A_s, and all
+// algorithms coincide at A_s = 360° (every orientation covers everything).
+func TestFig4Shape(t *testing.T) {
+	opts := quickOpts()
+	opts.Reps = 2
+	tbl, err := fig4(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := parseRow(t, tbl.Rows[0])
+	last := parseRow(t, tbl.Rows[len(tbl.Rows)-1])
+	if last[1] < first[1] {
+		t.Errorf("HASTE utility decreased from A_s=30° (%v) to 360° (%v)", first[1], last[1])
+	}
+	// At 360° the three algorithm families coincide.
+	for c := 2; c <= 4; c++ {
+		if diff := last[1] - last[c]; diff > 0.02 || diff < -0.02 {
+			t.Errorf("algorithms differ at A_s=360°: %v vs %v", last[1], last[c])
+		}
+	}
+}
+
+// Fig. 16's claim: messages grow superlinearly, rounds grow with n.
+func TestFig16Shape(t *testing.T) {
+	opts := quickOpts()
+	opts.Reps = 2
+	tbl, err := fig16(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 2 {
+		t.Fatal("too few rows")
+	}
+	first := parseRow(t, tbl.Rows[0])
+	last := parseRow(t, tbl.Rows[len(tbl.Rows)-1])
+	if last[1] <= first[1] {
+		t.Errorf("messages did not grow with n: %v → %v", first[1], last[1])
+	}
+}
+
+func parseRow(t *testing.T, row []string) []float64 {
+	t.Helper()
+	out := make([]float64, len(row))
+	for i, c := range row {
+		v, err := strconv.ParseFloat(strings.TrimSpace(c), 64)
+		if err != nil {
+			out[i] = 0
+			continue
+		}
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"haste/internal/core"
+	"haste/internal/geom"
+	"haste/internal/online"
+	"haste/internal/report"
+	"haste/internal/workload"
+)
+
+// onlineRunUtility runs the distributed online algorithm once.
+func onlineRunUtility(p *core.Problem, colors, samples int, seed int64) float64 {
+	return online.Run(p, online.Options{
+		Colors: colors, Samples: samples, Seed: seed,
+	}).Outcome.Utility
+}
+
+func fig11(o Options) (*report.Table, error) {
+	return energyDurationGrid(o, "Fig. 11 — Ē and Δt̄ vs charging utility, distributed online", true)
+}
+
+func fig12(o Options) (*report.Table, error) {
+	o = o.normalize()
+	tbl := report.NewTable("Fig. 12 — A_s vs charging utility, distributed online",
+		"A_s_deg", "HASTE-DO_C1", "HASTE-DO_C4", "GreedyUtility", "GreedyCover")
+	err := sweep4(o, angleLabels(), func(pt int, cfg *workload.Config) {
+		cfg.Params.ChargeAngle = geom.Deg(angleSweep[pt])
+	}, onlineUtilities, tbl, "A_s")
+	return tbl, err
+}
+
+func fig13(o Options) (*report.Table, error) {
+	o = o.normalize()
+	tbl := report.NewTable("Fig. 13 — A_o vs charging utility, distributed online",
+		"A_o_deg", "HASTE-DO_C1", "HASTE-DO_C4", "GreedyUtility", "GreedyCover")
+	err := sweep4(o, angleLabels(), func(pt int, cfg *workload.Config) {
+		cfg.Params.ReceiveAngle = geom.Deg(angleSweep[pt])
+	}, onlineUtilities, tbl, "A_o")
+	return tbl, err
+}
+
+func fig14(o Options) (*report.Table, error) {
+	o = o.normalize()
+	tbl := report.NewTable("Fig. 14 — switching delay ρ vs charging utility, distributed online",
+		"rho", "HASTE-DO_C1", "HASTE-DO_C4", "GreedyUtility", "GreedyCover")
+	err := sweep4(o, rhoLabels(), func(pt int, cfg *workload.Config) {
+		cfg.Params.Rho = rhoSweep[pt]
+	}, onlineUtilities, tbl, "rho")
+	return tbl, err
+}
+
+func fig15(o Options) (*report.Table, error) {
+	return colorBoxPlot(o, "Fig. 15 — color number C vs charging utility, distributed online "+
+		"(Monte-Carlo samples 2·C unless --samples given)", true)
+}
+
+// fig16: communication cost of Algorithm 3 for a single time slot as the
+// charger count grows (C = 1, as in the paper).
+func fig16(o Options) (*report.Table, error) {
+	o = o.normalize()
+	ns := []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	if o.Quick {
+		ns = []int{10, 30, 50}
+	}
+	tbl := report.NewTable("Fig. 16 — communication cost vs number of chargers (C = 1, one time slot)",
+		"n_chargers", "avg_messages", "avg_rounds", "avg_sessions")
+	for point, n := range ns {
+		var msgs, rounds, sessions float64
+		for rep := 0; rep < o.Reps; rep++ {
+			cfg := o.baseConfig()
+			cfg.NumChargers = n
+			// One-shot scenario: every task occupies the single first
+			// slot, so the run performs exactly one negotiation.
+			cfg.DurationMin, cfg.DurationMax = 1, 1
+			cfg.ReleaseMax = 0
+			cfg.Params.Tau = 0
+			seed := o.repSeed(point, rep)
+			in := cfg.Generate(rand.New(rand.NewSource(seed)))
+			p, err := core.NewProblem(in)
+			if err != nil {
+				return nil, err
+			}
+			res := online.Run(p, online.Options{Colors: 1, Seed: seed})
+			msgs += float64(res.Stats.TotalMessages())
+			rounds += float64(res.Stats.TotalRounds())
+			for _, neg := range res.Stats.Negotiations {
+				sessions += float64(neg.Sessions)
+			}
+		}
+		r := float64(o.Reps)
+		tbl.AddRow(n, msgs/r, rounds/r, sessions/r)
+	}
+	return tbl, nil
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"haste/internal/report"
+)
+
+// Improvement is a pairwise algorithm comparison over a figure's sweep:
+// the mean and maximum relative gain of one column over another, in
+// percent — the form in which the paper states its headline results
+// ("HASTE outperforms GreedyUtility and GreedyCover by x and y percent
+// (at most x' and y'), respectively").
+type Improvement struct {
+	Over     string  // the column being beaten
+	AvgPct   float64 // mean over sweep points of (a/b − 1)·100
+	MaxPct   float64 // maximum over sweep points
+	Points   int     // sweep points compared
+	Negative int     // points where the comparison lost
+}
+
+// CompareColumns computes the improvement of column a over column b
+// across all rows of a table. Rows whose cells do not parse as floats or
+// whose b value is zero are skipped.
+func CompareColumns(tbl *report.Table, a, b string) (Improvement, error) {
+	ia, ib := columnIndex(tbl, a), columnIndex(tbl, b)
+	if ia < 0 || ib < 0 {
+		return Improvement{}, fmt.Errorf("experiments: table %q lacks column %q or %q", tbl.Title, a, b)
+	}
+	imp := Improvement{Over: b}
+	for _, row := range tbl.Rows {
+		va, errA := strconv.ParseFloat(row[ia], 64)
+		vb, errB := strconv.ParseFloat(row[ib], 64)
+		if errA != nil || errB != nil || vb == 0 {
+			continue
+		}
+		pct := (va/vb - 1) * 100
+		imp.AvgPct += pct
+		if pct > imp.MaxPct {
+			imp.MaxPct = pct
+		}
+		if pct < 0 {
+			imp.Negative++
+		}
+		imp.Points++
+	}
+	if imp.Points == 0 {
+		return imp, fmt.Errorf("experiments: no comparable rows for %q vs %q", a, b)
+	}
+	imp.AvgPct /= float64(imp.Points)
+	return imp, nil
+}
+
+// String renders the improvement as the paper phrases it.
+func (i Improvement) String() string {
+	return fmt.Sprintf("outperforms %s by %.2f%% on average (at most %.2f%%) over %d points",
+		i.Over, i.AvgPct, i.MaxPct, i.Points)
+}
+
+// Summarize produces the headline-claim lines for a figure's table:
+// HASTE vs each baseline and C = 4 vs C = 1 where those columns exist.
+// Figures without comparison columns (box plots, grids, testbed tables)
+// yield no lines.
+func Summarize(tbl *report.Table) []string {
+	var hasteCol string
+	for _, c := range tbl.Columns {
+		if c == "HASTE_C1" || c == "HASTE-DO_C1" {
+			hasteCol = c
+			break
+		}
+	}
+	if hasteCol == "" {
+		return nil
+	}
+	var out []string
+	for _, baseline := range []string{"GreedyUtility", "GreedyCover"} {
+		if imp, err := CompareColumns(tbl, hasteCol, baseline); err == nil {
+			out = append(out, fmt.Sprintf("HASTE %s", imp))
+		}
+	}
+	c4 := "HASTE_C4"
+	if hasteCol == "HASTE-DO_C1" {
+		c4 = "HASTE-DO_C4"
+	}
+	if imp, err := CompareColumns(tbl, c4, hasteCol); err == nil {
+		out = append(out, fmt.Sprintf("C=4 vs C=1: %+.2f%% on average (at most %+.2f%%)",
+			imp.AvgPct, imp.MaxPct))
+	}
+	if imp, err := CompareColumns(tbl, hasteCol, "OPT"); err == nil {
+		out = append(out, fmt.Sprintf("HASTE achieves %.2f%% of the optimum on average (worst point %.2f%%)",
+			100+imp.AvgPct, 100+worstPct(tbl, hasteCol, "OPT")))
+	}
+	if imp, err := CompareColumns(tbl, "HASTE-DO", "OPT"); err == nil {
+		out = append(out, fmt.Sprintf("HASTE-DO achieves %.2f%% of the optimum on average (worst point %.2f%%)",
+			100+imp.AvgPct, 100+worstPct(tbl, "HASTE-DO", "OPT")))
+	}
+	return out
+}
+
+// worstPct returns the minimum relative difference (a/b − 1)·100 across
+// rows, i.e. the worst point of the sweep.
+func worstPct(tbl *report.Table, a, b string) float64 {
+	ia, ib := columnIndex(tbl, a), columnIndex(tbl, b)
+	worst := 0.0
+	first := true
+	for _, row := range tbl.Rows {
+		va, errA := strconv.ParseFloat(row[ia], 64)
+		vb, errB := strconv.ParseFloat(row[ib], 64)
+		if errA != nil || errB != nil || vb == 0 {
+			continue
+		}
+		pct := (va/vb - 1) * 100
+		if first || pct < worst {
+			worst = pct
+			first = false
+		}
+	}
+	return worst
+}
+
+func columnIndex(tbl *report.Table, name string) int {
+	for i, c := range tbl.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}

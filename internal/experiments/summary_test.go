@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"haste/internal/report"
+)
+
+func sweepTable() *report.Table {
+	tbl := report.NewTable("t", "A_s_deg", "HASTE_C1", "HASTE_C4", "GreedyUtility", "GreedyCover")
+	tbl.AddRow("30", 0.50, 0.52, 0.40, 0.45)
+	tbl.AddRow("60", 0.60, 0.60, 0.50, 0.55)
+	tbl.AddRow("90", 0.66, 0.68, 0.60, 0.66)
+	return tbl
+}
+
+func TestCompareColumns(t *testing.T) {
+	imp, err := CompareColumns(sweepTable(), "HASTE_C1", "GreedyUtility")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gains: 25%, 20%, 10% → avg 18.33, max 25.
+	if math.Abs(imp.AvgPct-18.333) > 0.01 || math.Abs(imp.MaxPct-25) > 0.01 {
+		t.Errorf("improvement = %+v", imp)
+	}
+	if imp.Points != 3 || imp.Negative != 0 {
+		t.Errorf("points/negative = %d/%d", imp.Points, imp.Negative)
+	}
+}
+
+func TestCompareColumnsErrors(t *testing.T) {
+	if _, err := CompareColumns(sweepTable(), "HASTE_C1", "Nope"); err == nil {
+		t.Error("missing column accepted")
+	}
+	empty := report.NewTable("e", "a", "b")
+	empty.AddRow("x", "y")
+	if _, err := CompareColumns(empty, "a", "b"); err == nil {
+		t.Error("unparseable rows accepted")
+	}
+}
+
+func TestCompareColumnsCountsLosses(t *testing.T) {
+	tbl := report.NewTable("t", "x", "HASTE_C1", "GreedyUtility")
+	tbl.AddRow("1", 0.4, 0.5) // HASTE loses here
+	tbl.AddRow("2", 0.6, 0.5)
+	imp, err := CompareColumns(tbl, "HASTE_C1", "GreedyUtility")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.Negative != 1 {
+		t.Errorf("Negative = %d, want 1", imp.Negative)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	lines := Summarize(sweepTable())
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines: %v", len(lines), lines)
+	}
+	if !strings.Contains(lines[0], "GreedyUtility") || !strings.Contains(lines[1], "GreedyCover") {
+		t.Errorf("baseline lines wrong: %v", lines)
+	}
+	if !strings.Contains(lines[2], "C=4 vs C=1") {
+		t.Errorf("color line wrong: %v", lines)
+	}
+}
+
+func TestSummarizeOptTable(t *testing.T) {
+	tbl := report.NewTable("t", "A_s_deg", "OPT", "HASTE_C1", "HASTE_C4", "HASTE-DO", "ratio_C1", "ratio_DO")
+	tbl.AddRow("60", 0.50, 0.48, 0.49, 0.45, 0.96, 0.90)
+	tbl.AddRow("120", 0.80, 0.76, 0.78, 0.70, 0.95, 0.875)
+	lines := Summarize(tbl)
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "of the optimum") {
+		t.Errorf("no optimum line: %v", lines)
+	}
+	if !strings.Contains(joined, "HASTE-DO achieves") {
+		t.Errorf("no online optimum line: %v", lines)
+	}
+}
+
+func TestSummarizeNonSweepTable(t *testing.T) {
+	tbl := report.NewTable("t", "task", "HASTE_C4", "GreedyUtility", "GreedyCover")
+	tbl.AddRow("task 1", 0.9, 0.8, 0.7)
+	if lines := Summarize(tbl); lines != nil {
+		t.Errorf("testbed-style table summarized: %v", lines)
+	}
+}
+
+// End-to-end: a real figure run must summarize cleanly.
+func TestSummarizeRealFigure(t *testing.T) {
+	tbl, err := fig4(Options{Reps: 1, Seed: 3, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := Summarize(tbl)
+	if len(lines) < 2 {
+		t.Fatalf("too few summary lines: %v", lines)
+	}
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+
+	"haste/internal/model"
+	"haste/internal/report"
+	"haste/internal/testbed"
+)
+
+// testbedFigure renders a per-task utility comparison for one testbed
+// topology and scenario (Figs. 21, 22, 24, 25).
+func testbedFigure(o Options, title string, in *model.Instance, mode testbed.Mode) (*report.Table, error) {
+	o = o.normalize()
+	c, err := testbed.Compare(in, mode, o.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	tbl := report.NewTable(title, "task", "HASTE_C4", "GreedyUtility", "GreedyCover")
+	for j := range c.HASTE {
+		tbl.AddRow(fmt.Sprintf("task %d", j+1), c.HASTE[j], c.GreedyUtility[j], c.GreedyCover[j])
+	}
+	tbl.AddRow("TOTAL", c.HASTETotal, c.UtilityTotal, c.CoverTotal)
+	return tbl, nil
+}
+
+func fig21(o Options) (*report.Table, error) {
+	return testbedFigure(o, "Fig. 21 — testbed topology 1, per-task utility (centralized offline)",
+		testbed.Topology1(), testbed.Offline)
+}
+
+func fig22(o Options) (*report.Table, error) {
+	return testbedFigure(o, "Fig. 22 — testbed topology 1, per-task utility (distributed online)",
+		testbed.Topology1(), testbed.Online)
+}
+
+func fig24(o Options) (*report.Table, error) {
+	return testbedFigure(o, "Fig. 24 — testbed topology 2, per-task utility (centralized offline)",
+		testbed.Topology2(), testbed.Offline)
+}
+
+func fig25(o Options) (*report.Table, error) {
+	return testbedFigure(o, "Fig. 25 — testbed topology 2, per-task utility (distributed online)",
+		testbed.Topology2(), testbed.Online)
+}

@@ -1,0 +1,79 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzNormalizeAngle: the canonical range and congruence invariants must
+// hold for every finite input.
+func FuzzNormalizeAngle(f *testing.F) {
+	for _, seed := range []float64{0, 1, -1, math.Pi, TwoPi, -TwoPi, 1e9, -1e9, 0.5} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, a float64) {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.Abs(a) > 1e12 {
+			t.Skip()
+		}
+		n := NormalizeAngle(a)
+		if n < 0 || n >= TwoPi {
+			t.Fatalf("NormalizeAngle(%v) = %v outside [0, 2π)", a, n)
+		}
+		// Congruent mod 2π: sin/cos must match.
+		if math.Abs(math.Sin(n)-math.Sin(a)) > 1e-6 && math.Abs(a) < 1e6 {
+			t.Fatalf("NormalizeAngle(%v) = %v not congruent", a, n)
+		}
+	})
+}
+
+// FuzzArcContains: membership must agree with angular distance from the
+// arc midpoint, for arcs built via ArcAround.
+func FuzzArcContains(f *testing.F) {
+	f.Add(0.0, 1.0, 0.5)
+	f.Add(6.0, 3.0, 0.1)
+	f.Add(1.0, 7.0, 4.0)
+	f.Fuzz(func(t *testing.T, mid, span, x float64) {
+		if math.IsNaN(mid) || math.IsNaN(span) || math.IsNaN(x) ||
+			math.IsInf(mid, 0) || math.IsInf(span, 0) || math.IsInf(x, 0) ||
+			math.Abs(mid) > 1e6 || math.Abs(x) > 1e6 || span < 0 || span > 100 {
+			t.Skip()
+		}
+		a := ArcAround(mid, span)
+		d := AngDist(x, mid)
+		got := a.Contains(x)
+		want := d <= span/2
+		if got != want && math.Abs(d-span/2) > 1e-6 {
+			t.Fatalf("ArcAround(%v,%v).Contains(%v) = %v, AngDist %v vs half-span %v",
+				mid, span, x, got, d, span/2)
+		}
+	})
+}
+
+// FuzzSectorContains: the dot-product formulation must agree with the
+// azimuth formulation away from boundaries.
+func FuzzSectorContains(f *testing.F) {
+	f.Add(1.0, 2.0, 0.5, 1.0, 3.0, 4.0)
+	f.Fuzz(func(t *testing.T, ox, oy, orient, half, px, py float64) {
+		for _, v := range []float64{ox, oy, orient, half, px, py} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				t.Skip()
+			}
+		}
+		if half < 0 || half > math.Pi {
+			t.Skip()
+		}
+		s := Sector{Apex: Point{ox, oy}, Orientation: orient, HalfAngle: half, Radius: 10}
+		p := Point{px, py}
+		d := p.Dist(s.Apex)
+		if d == 0 || d > 10 {
+			t.Skip()
+		}
+		dev := AngDist(Azimuth(s.Apex, p), orient)
+		if math.Abs(dev-half) < 1e-6 {
+			t.Skip() // razor edge
+		}
+		if got, want := s.Contains(p), dev <= half; got != want {
+			t.Fatalf("Contains mismatch: sector %+v point %v (dev %v, half %v)", s, p, dev, half)
+		}
+	})
+}

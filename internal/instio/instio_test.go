@@ -1,0 +1,109 @@
+package instio
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"haste/internal/model"
+	"haste/internal/workload"
+)
+
+func sample(seed int64) *model.Instance {
+	cfg := workload.SmallScale()
+	return cfg.Generate(rand.New(rand.NewSource(seed)))
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := sample(1)
+	in.Utility = model.LogUtility{}
+	in.Params.AnisotropicGain = true
+	in.Params.ProportionalSwitching = true
+
+	var buf bytes.Buffer
+	if err := Save(&buf, in, "round trip test"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Chargers) != len(in.Chargers) || len(got.Tasks) != len(in.Tasks) {
+		t.Fatalf("sizes changed: %d/%d vs %d/%d",
+			len(got.Chargers), len(got.Tasks), len(in.Chargers), len(in.Tasks))
+	}
+	for i := range in.Chargers {
+		if got.Chargers[i].Pos.Dist(in.Chargers[i].Pos) > 1e-9 {
+			t.Errorf("charger %d moved", i)
+		}
+	}
+	for j := range in.Tasks {
+		a, b := in.Tasks[j], got.Tasks[j]
+		if a.Pos.Dist(b.Pos) > 1e-9 || math.Abs(a.Phi-b.Phi) > 1e-9 ||
+			a.Release != b.Release || a.End != b.End ||
+			math.Abs(a.Energy-b.Energy) > 1e-9 || math.Abs(a.Weight-b.Weight) > 1e-9 {
+			t.Errorf("task %d changed: %+v vs %+v", j, a, b)
+		}
+	}
+	if got.U().Name() != "log" {
+		t.Errorf("utility = %q", got.U().Name())
+	}
+	if !got.Params.AnisotropicGain {
+		t.Error("anisotropic flag lost")
+	}
+	if !got.Params.ProportionalSwitching {
+		t.Error("proportional-switching flag lost")
+	}
+	if math.Abs(got.Params.ChargeAngle-in.Params.ChargeAngle) > 1e-9 {
+		t.Error("charge angle changed")
+	}
+}
+
+func TestFileIO(t *testing.T) {
+	in := sample(2)
+	path := filepath.Join(t.TempDir(), "instance.json")
+	if err := SaveFile(path, in, "file test"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tasks) != len(in.Tasks) {
+		t.Fatal("task count changed")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":          "not json",
+		"unknown fields":   `{"version":1,"bogus":true,"params":{},"chargers":[],"tasks":[]}`,
+		"bad version":      `{"version":99,"params":{},"chargers":[],"tasks":[]}`,
+		"unknown utility":  `{"version":1,"params":{"alpha":1,"beta":1,"radius_m":1,"charge_angle_deg":60,"receive_angle_deg":60,"slot_seconds":60,"utility":"cubic"},"chargers":[],"tasks":[]}`,
+		"invalid instance": `{"version":1,"params":{"alpha":0,"beta":1,"radius_m":1,"charge_angle_deg":60,"receive_angle_deg":60,"slot_seconds":60},"chargers":[],"tasks":[]}`,
+	}
+	for name, body := range cases {
+		if _, err := Load(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSchemaIsHumanOriented(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, sample(3), "c"); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{`"charge_angle_deg": 60`, `"slot_seconds": 60`, `"version": 1`, `"comment": "c"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("serialized form missing %q:\n%s", want, s[:400])
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package matroid provides the partition-matroid structure underlying the
+// HASTE-R reformulation (Lemma 4.1): the ground set is the union of the
+// disjoint policy sets Θ_{i,k} (one per charger per time slot), and a
+// selection is independent iff it picks at most one policy from every
+// Θ_{i,k}.
+//
+// The package also exposes a generic matroid-axiom checker used by the
+// property tests to certify the structure actually is a matroid.
+package matroid
+
+import "fmt"
+
+// Element identifies one scheduling policy in the ground set S: the p-th
+// dominant task set of charger i at time slot k (Θ_{i,k}^p).
+type Element struct {
+	Charger int // i
+	Slot    int // k
+	Policy  int // p, index into Γ_i
+}
+
+// String renders the element as Θ_{i,k}^p.
+func (e Element) String() string {
+	return fmt.Sprintf("Θ_{%d,%d}^%d", e.Charger, e.Slot, e.Policy)
+}
+
+// Partition describes the partition matroid M = (S, I): n chargers, K time
+// slots, and the number of policies |Γ_i| available to each charger.
+// Capacity is fixed at 1 per partition, matching |X ∩ Θ_{i,k}| ≤ 1.
+type Partition struct {
+	NumChargers  int
+	NumSlots     int
+	PolicyCounts []int // PolicyCounts[i] = |Γ_i|
+}
+
+// GroundSize returns |S| = K·Σ_i |Γ_i|.
+func (m Partition) GroundSize() int {
+	total := 0
+	for _, c := range m.PolicyCounts {
+		total += c
+	}
+	return total * m.NumSlots
+}
+
+// Ground enumerates the full ground set in deterministic order.
+func (m Partition) Ground() []Element {
+	out := make([]Element, 0, m.GroundSize())
+	for k := 0; k < m.NumSlots; k++ {
+		for i := 0; i < m.NumChargers; i++ {
+			for p := 0; p < m.PolicyCounts[i]; p++ {
+				out = append(out, Element{i, k, p})
+			}
+		}
+	}
+	return out
+}
+
+// Valid reports whether the element lies inside the ground set.
+func (m Partition) Valid(e Element) bool {
+	return e.Charger >= 0 && e.Charger < m.NumChargers &&
+		e.Slot >= 0 && e.Slot < m.NumSlots &&
+		e.Policy >= 0 && e.Policy < m.PolicyCounts[e.Charger]
+}
+
+// Independent reports whether X ∈ I: all elements valid, no duplicates,
+// and at most one element per partition Θ_{i,k}.
+func (m Partition) Independent(set []Element) bool {
+	used := make(map[[2]int]Element, len(set))
+	for _, e := range set {
+		if !m.Valid(e) {
+			return false
+		}
+		key := [2]int{e.Charger, e.Slot}
+		if prev, ok := used[key]; ok {
+			if prev == e {
+				return false // duplicate element
+			}
+			return false // two policies in the same partition
+		}
+		used[key] = e
+	}
+	return true
+}
+
+// CanAdd reports whether set ∪ {e} remains independent assuming set
+// already is.
+func (m Partition) CanAdd(set []Element, e Element) bool {
+	if !m.Valid(e) {
+		return false
+	}
+	for _, x := range set {
+		if x.Charger == e.Charger && x.Slot == e.Slot {
+			return false
+		}
+	}
+	return true
+}
+
+// Rank returns the matroid rank: the size of every maximal independent
+// set, i.e. the number of non-empty partitions times the slot count.
+func (m Partition) Rank() int {
+	nonEmpty := 0
+	for _, c := range m.PolicyCounts {
+		if c > 0 {
+			nonEmpty++
+		}
+	}
+	return nonEmpty * m.NumSlots
+}
+
+// IndependenceOracle is the abstract interface the axiom checker works
+// against.
+type IndependenceOracle func(set []Element) bool
+
+// CheckAxioms verifies the three matroid axioms of Definition 4.3 on the
+// given ground set by exhaustive enumeration of subsets up to size
+// maxSize. It returns a descriptive error on the first violation found.
+// Intended for tests on small ground sets.
+func CheckAxioms(ground []Element, indep IndependenceOracle, maxSize int) error {
+	// Axiom 1: ∅ ∈ I.
+	if !indep(nil) {
+		return fmt.Errorf("matroid axiom 1 violated: empty set not independent")
+	}
+	subsets := enumerateSubsets(ground, maxSize)
+
+	// Axiom 2 (heredity): X ⊆ Y ∈ I ⇒ X ∈ I. It suffices to check
+	// one-element deletions.
+	for _, y := range subsets {
+		if !indep(y) {
+			continue
+		}
+		for drop := range y {
+			x := append(append([]Element{}, y[:drop]...), y[drop+1:]...)
+			if !indep(x) {
+				return fmt.Errorf("matroid axiom 2 violated: %v independent but subset %v is not", y, x)
+			}
+		}
+	}
+
+	// Axiom 3 (exchange): |X| < |Y|, both independent ⇒ ∃ y ∈ Y\X with
+	// X ∪ {y} independent.
+	var indepSets [][]Element
+	for _, s := range subsets {
+		if indep(s) {
+			indepSets = append(indepSets, s)
+		}
+	}
+	for _, x := range indepSets {
+		for _, y := range indepSets {
+			if len(x) >= len(y) {
+				continue
+			}
+			found := false
+			for _, e := range y {
+				if containsElement(x, e) {
+					continue
+				}
+				if indep(append(append([]Element{}, x...), e)) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("matroid axiom 3 violated: |X|=%d |Y|=%d X=%v Y=%v", len(x), len(y), x, y)
+			}
+		}
+	}
+	return nil
+}
+
+func containsElement(set []Element, e Element) bool {
+	for _, x := range set {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+// enumerateSubsets lists all subsets of ground with size ≤ maxSize.
+func enumerateSubsets(ground []Element, maxSize int) [][]Element {
+	var out [][]Element
+	var rec func(start int, cur []Element)
+	rec = func(start int, cur []Element) {
+		out = append(out, append([]Element{}, cur...))
+		if len(cur) == maxSize {
+			return
+		}
+		for i := start; i < len(ground); i++ {
+			rec(i+1, append(cur, ground[i]))
+		}
+	}
+	rec(0, nil)
+	return out
+}

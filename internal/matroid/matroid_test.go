@@ -1,0 +1,147 @@
+package matroid
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func small() Partition {
+	return Partition{NumChargers: 2, NumSlots: 2, PolicyCounts: []int{2, 1}}
+}
+
+func TestGroundSize(t *testing.T) {
+	m := small()
+	if got := m.GroundSize(); got != 6 {
+		t.Errorf("GroundSize = %d, want 6", got)
+	}
+	if got := len(m.Ground()); got != 6 {
+		t.Errorf("len(Ground) = %d, want 6", got)
+	}
+}
+
+func TestValid(t *testing.T) {
+	m := small()
+	cases := []struct {
+		e    Element
+		want bool
+	}{
+		{Element{0, 0, 0}, true},
+		{Element{0, 1, 1}, true},
+		{Element{1, 1, 0}, true},
+		{Element{1, 0, 1}, false}, // charger 1 has only 1 policy
+		{Element{2, 0, 0}, false},
+		{Element{0, 2, 0}, false},
+		{Element{-1, 0, 0}, false},
+	}
+	for _, c := range cases {
+		if got := m.Valid(c.e); got != c.want {
+			t.Errorf("Valid(%v) = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestIndependent(t *testing.T) {
+	m := small()
+	cases := []struct {
+		set  []Element
+		want bool
+	}{
+		{nil, true},
+		{[]Element{{0, 0, 0}}, true},
+		{[]Element{{0, 0, 0}, {0, 1, 1}, {1, 0, 0}, {1, 1, 0}}, true},
+		{[]Element{{0, 0, 0}, {0, 0, 1}}, false}, // same partition
+		{[]Element{{0, 0, 0}, {0, 0, 0}}, false}, // duplicate
+		{[]Element{{1, 0, 1}}, false},            // invalid element
+	}
+	for _, c := range cases {
+		if got := m.Independent(c.set); got != c.want {
+			t.Errorf("Independent(%v) = %v, want %v", c.set, got, c.want)
+		}
+	}
+}
+
+func TestCanAdd(t *testing.T) {
+	m := small()
+	base := []Element{{0, 0, 0}}
+	if m.CanAdd(base, Element{0, 0, 1}) {
+		t.Error("CanAdd allowed same partition")
+	}
+	if !m.CanAdd(base, Element{0, 1, 0}) {
+		t.Error("CanAdd rejected other slot")
+	}
+	if !m.CanAdd(base, Element{1, 0, 0}) {
+		t.Error("CanAdd rejected other charger")
+	}
+	if m.CanAdd(base, Element{5, 0, 0}) {
+		t.Error("CanAdd accepted invalid element")
+	}
+}
+
+func TestRank(t *testing.T) {
+	m := small()
+	if got := m.Rank(); got != 4 {
+		t.Errorf("Rank = %d, want 4", got)
+	}
+	m2 := Partition{NumChargers: 3, NumSlots: 2, PolicyCounts: []int{2, 0, 1}}
+	if got := m2.Rank(); got != 4 {
+		t.Errorf("Rank with empty partition = %d, want 4", got)
+	}
+}
+
+// The paper's Lemma 4.1: the scheduling constraint is a matroid. Verify
+// the axioms exhaustively on small random instances.
+func TestPartitionMatroidAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		m := Partition{
+			NumChargers:  1 + rng.Intn(2),
+			NumSlots:     1 + rng.Intn(2),
+			PolicyCounts: nil,
+		}
+		for i := 0; i < m.NumChargers; i++ {
+			m.PolicyCounts = append(m.PolicyCounts, 1+rng.Intn(3))
+		}
+		if m.GroundSize() > 8 {
+			continue // keep enumeration small
+		}
+		if err := CheckAxioms(m.Ground(), m.Independent, 4); err != nil {
+			t.Fatalf("trial %d (%+v): %v", trial, m, err)
+		}
+	}
+}
+
+// Negative control: the checker must catch a non-matroid. Independence
+// defined as "set is not exactly {a}" violates heredity.
+func TestCheckAxiomsDetectsViolation(t *testing.T) {
+	ground := []Element{{0, 0, 0}, {0, 0, 1}}
+	bogus := func(set []Element) bool {
+		return !(len(set) == 1 && set[0] == ground[0])
+	}
+	if err := CheckAxioms(ground, bogus, 2); err == nil {
+		t.Fatal("checker accepted a non-matroid")
+	}
+}
+
+// Negative control for the exchange axiom: "all elements must share a
+// slot" satisfies heredity but not exchange on a two-slot ground set.
+func TestCheckAxiomsDetectsExchangeViolation(t *testing.T) {
+	ground := []Element{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}}
+	sameSlot := func(set []Element) bool {
+		for i := 1; i < len(set); i++ {
+			if set[i].Slot != set[0].Slot {
+				return false
+			}
+		}
+		return true
+	}
+	if err := CheckAxioms(ground, sameSlot, 3); err == nil {
+		t.Fatal("checker accepted an exchange violation")
+	}
+}
+
+func TestElementString(t *testing.T) {
+	e := Element{1, 2, 3}
+	if got := e.String(); got != "Θ_{1,2}^3" {
+		t.Errorf("String = %q", got)
+	}
+}

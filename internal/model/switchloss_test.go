@@ -1,0 +1,54 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"haste/internal/geom"
+)
+
+func TestSwitchLossFixedModel(t *testing.T) {
+	p := testParams() // ρ = 1/12, fixed model
+	if got := p.SwitchLoss(0, math.Pi); !almostEq(got, 1.0/12) {
+		t.Errorf("full turn loss = %v, want ρ", got)
+	}
+	if got := p.SwitchLoss(0, 0.01); !almostEq(got, 1.0/12) {
+		t.Errorf("tiny turn loss = %v, want ρ (fixed model)", got)
+	}
+	if got := p.SwitchLoss(math.NaN(), 1); !almostEq(got, 1.0/12) {
+		t.Errorf("first orientation loss = %v, want ρ", got)
+	}
+	if got := p.SwitchLoss(1, math.NaN()); got != 0 {
+		t.Errorf("no target orientation loss = %v, want 0", got)
+	}
+}
+
+func TestSwitchLossProportionalModel(t *testing.T) {
+	p := testParams()
+	p.ProportionalSwitching = true
+	rho := p.Rho
+	cases := []struct {
+		from, to, want float64
+	}{
+		{0, math.Pi, rho},         // U-turn: full delay
+		{0, math.Pi / 2, rho / 2}, // quarter turn: half delay
+		{0, 0, 0},                 // no rotation
+		{0.1, 0.1 + math.Pi/4, rho / 4},
+		{geom.Deg(350), geom.Deg(10), rho / 9}, // 20° across the wrap
+	}
+	for _, c := range cases {
+		if got := p.SwitchLoss(c.from, c.to); !almostEq(got, c.want) {
+			t.Errorf("SwitchLoss(%v→%v) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+	// First orientation (from Φ) still costs the full ρ.
+	if got := p.SwitchLoss(math.NaN(), 2); !almostEq(got, rho) {
+		t.Errorf("first orientation = %v, want ρ", got)
+	}
+	// Never exceeds ρ.
+	for a := 0.0; a < geom.TwoPi; a += 0.1 {
+		if got := p.SwitchLoss(0, a); got > rho+1e-12 {
+			t.Fatalf("loss %v exceeds ρ at Δ=%v", got, a)
+		}
+	}
+}

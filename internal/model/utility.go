@@ -1,0 +1,76 @@
+package model
+
+import "math"
+
+// Utility is a charging-utility function U: it maps the energy a task has
+// harvested to a value in [0, 1], given the task's required energy E_j.
+// The paper's analysis requires U to be normalized (U(0) = 0), monotone
+// non-decreasing, concave, and bounded by 1; every implementation here
+// satisfies those properties (checked by property tests).
+type Utility interface {
+	// Of returns U(energy) for a task requiring `required` joules.
+	Of(energy, required float64) float64
+	// Name identifies the utility model in reports.
+	Name() string
+}
+
+// LinearBounded is the paper's default charging utility (Eq. 1):
+// U(x) = x/E_j for x ≤ E_j and 1 beyond.
+type LinearBounded struct{}
+
+// Of implements Utility.
+func (LinearBounded) Of(energy, required float64) float64 {
+	if energy <= 0 {
+		return 0
+	}
+	if energy >= required {
+		return 1
+	}
+	return energy / required
+}
+
+// Name implements Utility.
+func (LinearBounded) Name() string { return "linear-bounded" }
+
+// LogUtility is a strictly concave alternative,
+// U(x) = log(1 + x/E_j) / log 2, capped at 1 (it reaches 1 exactly at
+// x = E_j). It models steeply diminishing returns near the requirement.
+type LogUtility struct{}
+
+// Of implements Utility.
+func (LogUtility) Of(energy, required float64) float64 {
+	if energy <= 0 {
+		return 0
+	}
+	u := math.Log1p(energy/required) / math.Ln2
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// Name implements Utility.
+func (LogUtility) Name() string { return "log" }
+
+// ExpSaturating is a smooth saturating utility,
+// U(x) = (1 − e^(−λ·x/E_j)) / (1 − e^(−λ)) for x ≤ E_j and 1 beyond,
+// with sharpness λ = 3. Unlike LinearBounded it is differentiable
+// everywhere below the cap.
+type ExpSaturating struct{}
+
+const expSharpness = 3.0
+
+// Of implements Utility.
+func (ExpSaturating) Of(energy, required float64) float64 {
+	if energy <= 0 {
+		return 0
+	}
+	if energy >= required {
+		return 1
+	}
+	norm := 1 - math.Exp(-expSharpness)
+	return (1 - math.Exp(-expSharpness*energy/required)) / norm
+}
+
+// Name implements Utility.
+func (ExpSaturating) Name() string { return "exp-saturating" }

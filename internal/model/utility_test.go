@@ -1,0 +1,90 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func utilities() []Utility {
+	return []Utility{LinearBounded{}, LogUtility{}, ExpSaturating{}}
+}
+
+func TestUtilityLinearBounded(t *testing.T) {
+	u := LinearBounded{}
+	cases := []struct{ e, req, want float64 }{
+		{0, 100, 0},
+		{-5, 100, 0},
+		{50, 100, 0.5},
+		{100, 100, 1},
+		{200, 100, 1},
+	}
+	for _, c := range cases {
+		if got := u.Of(c.e, c.req); !almostEq(got, c.want) {
+			t.Errorf("U(%v;%v) = %v, want %v", c.e, c.req, got, c.want)
+		}
+	}
+}
+
+func TestUtilityEndpoints(t *testing.T) {
+	for _, u := range utilities() {
+		if got := u.Of(0, 123); got != 0 {
+			t.Errorf("%s: U(0) = %v, want 0", u.Name(), got)
+		}
+		if got := u.Of(123, 123); !almostEq(got, 1) {
+			t.Errorf("%s: U(E_j) = %v, want 1", u.Name(), got)
+		}
+		if got := u.Of(1e9, 123); !almostEq(got, 1) {
+			t.Errorf("%s: U(huge) = %v, want 1", u.Name(), got)
+		}
+	}
+}
+
+// Every utility must be normalized, monotone, concave and in [0, 1] —
+// the exact properties Lemma 4.2 relies on.
+func TestUtilityProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, u := range utilities() {
+		req := 1000.0
+		for i := 0; i < 5000; i++ {
+			x1 := rng.Float64() * 2 * req
+			x2 := x1 + rng.Float64()*req // x2 ≥ x1
+			dx := rng.Float64() * req
+
+			v1, v2 := u.Of(x1, req), u.Of(x2, req)
+			if v1 < 0 || v1 > 1+1e-12 {
+				t.Fatalf("%s: U(%v) = %v outside [0,1]", u.Name(), x1, v1)
+			}
+			if v2 < v1-1e-12 {
+				t.Fatalf("%s: not monotone: U(%v)=%v > U(%v)=%v", u.Name(), x1, v1, x2, v2)
+			}
+			// Concavity / diminishing marginals (Eq. 6 of the paper):
+			// U(x1+Δ)−U(x1) ≥ U(x2+Δ)−U(x2) for x1 ≤ x2.
+			m1 := u.Of(x1+dx, req) - v1
+			m2 := u.Of(x2+dx, req) - v2
+			if m1 < m2-1e-9 {
+				t.Fatalf("%s: marginals not diminishing at x1=%v x2=%v Δ=%v (%v < %v)",
+					u.Name(), x1, x2, dx, m1, m2)
+			}
+		}
+	}
+}
+
+func TestUtilityNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, u := range utilities() {
+		if seen[u.Name()] {
+			t.Fatalf("duplicate utility name %q", u.Name())
+		}
+		seen[u.Name()] = true
+	}
+}
+
+func TestExpSaturatingContinuousAtCap(t *testing.T) {
+	u := ExpSaturating{}
+	req := 500.0
+	below := u.Of(req*(1-1e-9), req)
+	if math.Abs(below-1) > 1e-6 {
+		t.Errorf("ExpSaturating discontinuous at cap: U(E−ε) = %v", below)
+	}
+}

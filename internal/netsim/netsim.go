@@ -1,0 +1,181 @@
+// Package netsim is the distributed-execution substrate for the online
+// algorithm: an in-memory broadcast network that drives a set of nodes
+// (one per wireless charger) through synchronized communication rounds and
+// accounts for every message delivered — the quantities Fig. 16 of the
+// paper reports.
+//
+// The paper's Algorithm 3 runs asynchronously; its proof of Theorem 6.1
+// shows the asynchronous executions can be reordered into a global
+// sequence (the DAG/topological-sort argument), so a round-synchronized
+// engine reproduces the algorithm's behaviour exactly while keeping runs
+// reproducible. The engine supports a sequential and a goroutine-per-node
+// parallel driver — tests require both to produce identical outcomes — and
+// optional failure injection (message drops and duplications) to exercise
+// the negotiation protocol's tolerance.
+package netsim
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Payload is an opaque protocol message body.
+type Payload interface{}
+
+// Message is a delivered message with its sender.
+type Message struct {
+	From    int
+	Payload Payload
+}
+
+// Node is a participant. Each round the engine hands it the messages
+// delivered this round; the node returns a payload to broadcast to all its
+// neighbors (nil for silence) and whether it considers its work done.
+// Done nodes keep being stepped (they may still need to answer) until the
+// whole network quiesces.
+type Node interface {
+	Step(inbox []Message) (out Payload, done bool)
+}
+
+// Options configures an engine run.
+type Options struct {
+	// DropRate is the probability each individual delivery is lost.
+	DropRate float64
+	// DupRate is the probability each delivery is duplicated.
+	DupRate float64
+	// Rng drives failure injection; required if DropRate or DupRate > 0.
+	Rng *rand.Rand
+	// Parallel steps all nodes concurrently (one goroutine per node) with
+	// a barrier between rounds. Results are identical to the sequential
+	// driver because inboxes are assembled deterministically.
+	Parallel bool
+	// MaxRounds caps a session (default 10000).
+	MaxRounds int
+}
+
+// Stats accounts for one engine session.
+type Stats struct {
+	Rounds     int   // rounds executed (the final quiescent round included)
+	Messages   int64 // deliveries that reached a node
+	Dropped    int64 // deliveries lost to failure injection
+	Duplicated int64 // extra deliveries from duplication
+}
+
+// Add accumulates another session's stats.
+func (s *Stats) Add(o Stats) {
+	s.Rounds += o.Rounds
+	s.Messages += o.Messages
+	s.Dropped += o.Dropped
+	s.Duplicated += o.Duplicated
+}
+
+// ErrNoQuiescence is returned when MaxRounds elapses with traffic still
+// flowing.
+var ErrNoQuiescence = errors.New("netsim: session did not quiesce within MaxRounds")
+
+// Engine drives sessions over a fixed topology. Neighbors[i] lists the
+// node indices adjacent to node i; the relation must be symmetric.
+type Engine struct {
+	Neighbors [][]int
+	Opt       Options
+}
+
+// Run drives the nodes until a round passes with no broadcasts (global
+// quiescence) or MaxRounds is hit. len(nodes) must equal len(Neighbors).
+func (e *Engine) Run(nodes []Node) (Stats, error) {
+	n := len(nodes)
+	maxRounds := e.Opt.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 10000
+	}
+	var stats Stats
+	inboxes := make([][]Message, n)
+	outs := make([]Payload, n)
+
+	for round := 0; round < maxRounds; round++ {
+		stats.Rounds++
+		if e.Opt.Parallel {
+			var wg sync.WaitGroup
+			wg.Add(n)
+			for i := 0; i < n; i++ {
+				go func(i int) {
+					defer wg.Done()
+					outs[i], _ = nodes[i].Step(inboxes[i])
+				}(i)
+			}
+			wg.Wait()
+		} else {
+			for i := 0; i < n; i++ {
+				outs[i], _ = nodes[i].Step(inboxes[i])
+			}
+		}
+
+		// Deliver. Inboxes are rebuilt from scratch and sorted by sender
+		// so both drivers see identical input order.
+		sent := false
+		for i := range inboxes {
+			inboxes[i] = nil
+		}
+		for from, payload := range outs {
+			if payload == nil {
+				continue
+			}
+			sent = true
+			for _, to := range e.Neighbors[from] {
+				deliveries := 1
+				if e.Opt.Rng != nil {
+					if e.Opt.DropRate > 0 && e.Opt.Rng.Float64() < e.Opt.DropRate {
+						stats.Dropped++
+						continue
+					}
+					if e.Opt.DupRate > 0 && e.Opt.Rng.Float64() < e.Opt.DupRate {
+						deliveries = 2
+						stats.Duplicated++
+					}
+				}
+				for d := 0; d < deliveries; d++ {
+					inboxes[to] = append(inboxes[to], Message{From: from, Payload: payload})
+					stats.Messages++
+				}
+			}
+		}
+		for i := range inboxes {
+			sort.SliceStable(inboxes[i], func(a, b int) bool {
+				return inboxes[i][a].From < inboxes[i][b].From
+			})
+		}
+		if !sent {
+			return stats, nil
+		}
+	}
+	return stats, ErrNoQuiescence
+}
+
+// ValidateTopology checks that the neighbor relation is symmetric,
+// irreflexive and in range.
+func ValidateTopology(neighbors [][]int) error {
+	n := len(neighbors)
+	for i, ns := range neighbors {
+		for _, j := range ns {
+			if j < 0 || j >= n {
+				return errors.New("netsim: neighbor index out of range")
+			}
+			if j == i {
+				return errors.New("netsim: self-loop in topology")
+			}
+			found := false
+			for _, back := range neighbors[j] {
+				if back == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return errors.New("netsim: asymmetric neighbor relation")
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,313 @@
+// Package online implements Algorithm 3: the distributed online algorithm
+// for HASTE. Each wireless charger runs an agent that, whenever new
+// charging tasks arrive, renegotiates its future orientations with its
+// neighbors (chargers sharing at least one known chargeable task) through
+// the control-message protocol of the paper:
+//
+//	msg(ID, TIM, COL, CMD, ΔF_i^{k*}(Q_i), e_i^{k*})
+//
+// For every future time slot k and color c, agents repeatedly broadcast
+// their best marginal gain ΔF; the agent whose bid beats every competing
+// neighbor (ties broken by charger ID, as in the paper) commits the
+// corresponding dominant-set policy as an S-C tuple, announces it with an
+// UPD message, and its neighbors fold the committed contribution into
+// their local energy views and rebid. The negotiation for one (k,c) pair
+// ends when nobody has a positive marginal left. Afterwards every agent
+// samples one color per slot to obtain its scheduling policy X_i, exactly
+// as the centralized TabularGreedy does per partition.
+//
+// Agents only ever use local knowledge: tasks they have seen arrive, their
+// own dominant sets over those tasks, and the policies their neighbors
+// announced. The rescheduling delay τ is honored by the driver in run.go —
+// a negotiation triggered at slot t can only change orientations from slot
+// t+τ on.
+package online
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"haste/internal/core"
+	"haste/internal/dominant"
+	"haste/internal/netsim"
+)
+
+// bidMsg is the CMD=NULL control message: the sender's best marginal for
+// the session's (slot, color) pair.
+type bidMsg struct {
+	Slot, Color int
+	Delta       float64
+}
+
+// updMsg is the CMD=UPD control message: the sender committed the policy
+// covering these task IDs for the session's (slot, color) pair.
+type updMsg struct {
+	Slot, Color int
+	Covers      []int
+}
+
+// agentPhase tracks the bid/decide alternation within a session.
+type agentPhase int
+
+const (
+	phaseBid agentPhase = iota
+	phaseDecide
+)
+
+// agent is one charger's negotiation state across a whole renegotiation
+// (all sessions of all future slots and colors).
+type agent struct {
+	id      int
+	p       *core.Problem
+	colors  int
+	samples int
+	seed    int64
+
+	policies []dominant.Policy // Γ_i over the tasks this agent knows
+	known    []bool            // known[j]: task j has arrived (agent may plan for it)
+
+	// energy[s][j]: sample s's view of task j's accumulated energy, built
+	// from this agent's own commitments and neighbors' UPD messages plus
+	// the locked-prefix baseline. Only tasks in T_i are ever read.
+	energy [][]float64
+
+	// q[k][c]: committed policy index into policies, -1 if none.
+	q map[int][]int
+
+	// Per-session state.
+	sessionSlot  int
+	sessionColor int
+	phase        agentPhase
+	fixed        bool
+	passed       bool
+	myBid        float64
+	myPol        int
+
+	// sessionCovers[pol] lists (task, per-slot energy) for the tasks of
+	// policy pol that are active in the session slot — precomputed once
+	// per session so the per-round rebids only walk live tasks.
+	sessionCovers [][]taskEnergy
+	// sessionSamples lists the samples whose color for (id, slot) equals
+	// the session color.
+	sessionSamples []int
+}
+
+// taskEnergy pairs a task ID with the energy it harvests from this agent
+// per fully covered slot.
+type taskEnergy struct {
+	task int
+	de   float64
+}
+
+// newAgent builds an agent with the given locked-prefix baseline energies
+// (shared across samples: the locked past does not depend on colors).
+func newAgent(id int, p *core.Problem, colors, samples int, seed int64, knownIDs []int, baseline []float64) *agent {
+	a := &agent{
+		id:      id,
+		p:       p,
+		colors:  colors,
+		samples: samples,
+		seed:    seed,
+		known:   make([]bool, len(p.In.Tasks)),
+		q:       make(map[int][]int),
+	}
+	for _, j := range knownIDs {
+		a.known[j] = true
+	}
+	a.policies = dominant.ExtractSubset(p.In, id, knownIDs)
+	a.energy = make([][]float64, samples)
+	for s := range a.energy {
+		a.energy[s] = append([]float64(nil), baseline...)
+	}
+	return a
+}
+
+// startSession arms the agent for the (slot, color) negotiation.
+func (a *agent) startSession(slot, color int) {
+	a.sessionSlot = slot
+	a.sessionColor = color
+	a.phase = phaseBid
+	a.fixed = false
+	a.passed = false
+
+	if cap(a.sessionCovers) < len(a.policies) {
+		a.sessionCovers = make([][]taskEnergy, len(a.policies))
+	}
+	a.sessionCovers = a.sessionCovers[:len(a.policies)]
+	for pol := range a.policies {
+		a.sessionCovers[pol] = a.sessionCovers[pol][:0]
+		if a.policies[pol].Idle {
+			continue
+		}
+		for _, j := range a.policies[pol].Covers {
+			t := &a.p.In.Tasks[j]
+			if de := a.p.SlotEnergy(a.id, j); de > 0 && t.ActiveAt(slot) {
+				a.sessionCovers[pol] = append(a.sessionCovers[pol], taskEnergy{j, de})
+			}
+		}
+	}
+	a.sessionSamples = a.sessionSamples[:0]
+	for s := 0; s < a.samples; s++ {
+		if colorAt(a.seed, s, a.id, slot, a.colors) == color {
+			a.sessionSamples = append(a.sessionSamples, s)
+		}
+	}
+	a.recompute()
+}
+
+// recompute refreshes the agent's best policy and marginal bid for the
+// current session from its local energy view.
+func (a *agent) recompute() {
+	a.myPol, a.myBid = -1, 0
+	for pol := range a.policies {
+		if a.policies[pol].Idle {
+			continue
+		}
+		gain := a.policyGain(pol)
+		if gain > a.myBid {
+			a.myBid, a.myPol = gain, pol
+		}
+	}
+}
+
+// policyGain sums the policy's marginal utility over the samples whose
+// color for this agent's (slot) partition matches the session color.
+func (a *agent) policyGain(pol int) float64 {
+	u := a.p.In.U()
+	var gain float64
+	for _, s := range a.sessionSamples {
+		energy := a.energy[s]
+		for _, te := range a.sessionCovers[pol] {
+			t := &a.p.In.Tasks[te.task]
+			gain += t.Weight * (u.Of(energy[te.task]+te.de, t.Energy) - u.Of(energy[te.task], t.Energy))
+		}
+	}
+	return gain
+}
+
+// applyCommit folds a committed policy (by charger `from`, covering
+// `covers`) into the matching samples of the local energy view.
+func (a *agent) applyCommit(from int, covers []int, slot, color int) {
+	k := slot
+	for s := 0; s < a.samples; s++ {
+		if colorAt(a.seed, s, from, k, a.colors) != color {
+			continue
+		}
+		for _, j := range covers {
+			t := &a.p.In.Tasks[j]
+			if t.ActiveAt(k) {
+				a.energy[s][j] += a.p.SlotEnergy(from, j)
+			}
+		}
+	}
+}
+
+// Step implements netsim.Node for the current session.
+func (a *agent) Step(inbox []netsim.Message) (netsim.Payload, bool) {
+	switch a.phase {
+	case phaseBid:
+		// Fold in UPDs from last round's winners, then rebid.
+		seen := map[int]bool{}
+		for _, m := range inbox {
+			upd, ok := m.Payload.(updMsg)
+			if !ok || upd.Slot != a.sessionSlot || upd.Color != a.sessionColor {
+				continue
+			}
+			if seen[m.From] { // duplicate delivery (failure injection)
+				continue
+			}
+			seen[m.From] = true
+			a.applyCommit(m.From, upd.Covers, upd.Slot, upd.Color)
+		}
+		if a.fixed || a.passed {
+			return nil, true
+		}
+		a.recompute()
+		if a.myBid <= 1e-15 {
+			a.passed = true
+			return nil, true
+		}
+		a.phase = phaseDecide
+		return bidMsg{Slot: a.sessionSlot, Color: a.sessionColor, Delta: a.myBid}, false
+
+	case phaseDecide:
+		a.phase = phaseBid
+		if a.fixed || a.passed {
+			return nil, true
+		}
+		// The paper's rule: commit iff our ΔF beats every competing
+		// neighbor's, breaking exact ties by charger ID.
+		for _, m := range inbox {
+			bid, ok := m.Payload.(bidMsg)
+			if !ok || bid.Slot != a.sessionSlot || bid.Color != a.sessionColor {
+				continue
+			}
+			if bid.Delta > a.myBid || (bid.Delta == a.myBid && m.From < a.id) {
+				return nil, false // lost this round; rebid next round
+			}
+		}
+		a.fixed = true
+		a.commitOwn()
+		return updMsg{Slot: a.sessionSlot, Color: a.sessionColor, Covers: a.policies[a.myPol].Covers}, true
+	}
+	return nil, true
+}
+
+// commitOwn records the winning policy as the S-C tuple for (slot, color)
+// and applies it to the agent's own matching samples.
+func (a *agent) commitOwn() {
+	row, ok := a.q[a.sessionSlot]
+	if !ok {
+		row = make([]int, a.colors)
+		for c := range row {
+			row[c] = -1
+		}
+		a.q[a.sessionSlot] = row
+	}
+	row[a.sessionColor] = a.myPol
+	a.applyCommit(a.id, a.policies[a.myPol].Covers, a.sessionSlot, a.sessionColor)
+}
+
+// finalPlan samples one color per slot (lines 22–24 of Algorithm 3) and
+// returns the agent's orientation commands for slots [from, to).
+// Unassigned slots are NaN (keep the previous physical orientation).
+func (a *agent) finalPlan(from, to int, rng *rand.Rand) []float64 {
+	plan := make([]float64, to-from)
+	slots := make([]int, 0, len(a.q))
+	for k := range a.q {
+		slots = append(slots, k)
+	}
+	sort.Ints(slots)
+	for i := range plan {
+		plan[i] = math.NaN()
+	}
+	for _, k := range slots {
+		if k < from || k >= to {
+			continue
+		}
+		c := rng.Intn(a.colors)
+		if pol := a.q[k][c]; pol >= 0 {
+			plan[k-from] = a.policies[pol].Orientation
+		}
+	}
+	return plan
+}
+
+// colorAt deterministically assigns sample s's color for partition (i,k).
+// All agents share the seed, so everyone agrees on every partition's color
+// vector without exchanging it — the distributed analogue of the common
+// random numbers used by the centralized TabularGreedy.
+func colorAt(seed int64, s, i, k, colors int) int {
+	if colors <= 1 {
+		return 0
+	}
+	x := uint64(seed) ^ uint64(s)*0x9e3779b97f4a7c15 ^ uint64(i)*0xbf58476d1ce4e5b9 ^ uint64(k)*0x94d049bb133111eb
+	// splitmix64 finalizer.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(colors))
+}

@@ -1,0 +1,312 @@
+package online
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"haste/internal/core"
+	"haste/internal/netsim"
+	"haste/internal/sim"
+)
+
+// Options configures a distributed online run.
+type Options struct {
+	// Colors is the TabularGreedy control parameter C (default 1).
+	Colors int
+	// Samples is the number of Monte-Carlo color vectors when Colors > 1
+	// (default 8·Colors, forced to 1 when Colors == 1).
+	Samples int
+	// Seed drives the shared color hash and the final per-agent color
+	// sampling; runs with equal seeds are identical.
+	Seed int64
+	// Parallel runs every negotiation round with one goroutine per
+	// charger (results are identical to the sequential driver).
+	Parallel bool
+	// DropRate / DupRate inject message loss and duplication into the
+	// negotiation (see package netsim). The protocol degrades gracefully:
+	// sessions still terminate, utility may drop.
+	DropRate, DupRate float64
+}
+
+func (o Options) normalize() Options {
+	if o.Colors < 1 {
+		o.Colors = 1
+	}
+	if o.Colors == 1 {
+		o.Samples = 1
+	} else if o.Samples <= 0 {
+		o.Samples = 8 * o.Colors
+	}
+	return o
+}
+
+// NegotiationStats describes one arrival-triggered renegotiation.
+type NegotiationStats struct {
+	Slot     int   // arrival slot that triggered it
+	NewTasks int   // tasks that arrived
+	Sessions int   // (slot, color) sessions that carried traffic
+	Messages int64 // control messages delivered
+	Rounds   int   // negotiation rounds across traffic sessions
+}
+
+// Stats aggregates a full run (the Fig. 16 quantities).
+type Stats struct {
+	Negotiations []NegotiationStats
+	Net          netsim.Stats // network-level totals including drops/dups
+}
+
+// TotalMessages sums control messages over all negotiations.
+func (s Stats) TotalMessages() int64 {
+	var t int64
+	for _, n := range s.Negotiations {
+		t += n.Messages
+	}
+	return t
+}
+
+// TotalRounds sums negotiation rounds over all negotiations.
+func (s Stats) TotalRounds() int {
+	t := 0
+	for _, n := range s.Negotiations {
+		t += n.Rounds
+	}
+	return t
+}
+
+// Result of a distributed online run.
+type Result struct {
+	// Orientations is the stitched orientation timeline the chargers
+	// actually executed (NaN = no command, keep previous orientation).
+	Orientations [][]float64
+	// Outcome is the physical, switching-delay-aware result.
+	Outcome sim.Outcome
+	// Stats reports the communication cost.
+	Stats Stats
+}
+
+// Run simulates the whole online scenario on problem p: tasks become
+// known at their release slots; each arrival batch triggers a distributed
+// renegotiation of all orientations from τ slots in the future; the
+// resulting plan is executed physically with switching delays. See the
+// package comment for the protocol.
+func Run(p *core.Problem, opt Options) Result {
+	opt = opt.normalize()
+	in := p.In
+	n := len(in.Chargers)
+	tau := in.Params.Tau
+	K := p.K
+
+	orient := make([][]float64, n)
+	for i := range orient {
+		orient[i] = make([]float64, K)
+		for k := range orient[i] {
+			orient[i][k] = math.NaN()
+		}
+	}
+
+	// Group arrivals by release slot.
+	arrivals := map[int][]int{}
+	for _, t := range in.Tasks {
+		arrivals[t.Release] = append(arrivals[t.Release], t.ID)
+	}
+	slots := make([]int, 0, len(arrivals))
+	for s := range arrivals {
+		slots = append(slots, s)
+	}
+	sort.Ints(slots)
+
+	var stats Stats
+	var known []int
+	for _, t := range slots {
+		known = append(known, arrivals[t]...)
+		sort.Ints(known)
+
+		lockUntil := t + tau
+		if lockUntil > K {
+			lockUntil = K
+		}
+		maxEnd := 0
+		for _, j := range known {
+			if in.Tasks[j].End > maxEnd {
+				maxEnd = in.Tasks[j].End
+			}
+		}
+		if maxEnd <= lockUntil {
+			stats.Negotiations = append(stats.Negotiations, NegotiationStats{
+				Slot: t, NewTasks: len(arrivals[t]),
+			})
+			continue
+		}
+
+		neg := negotiate(p, opt, known, orient, t, lockUntil, maxEnd)
+		neg.Slot = t
+		neg.NewTasks = len(arrivals[t])
+		stats.Negotiations = append(stats.Negotiations, neg.NegotiationStats)
+		stats.Net.Add(neg.net)
+
+		// Install the new plan over the renegotiated horizon.
+		for i := 0; i < n; i++ {
+			copy(orient[i][lockUntil:maxEnd], neg.plans[i])
+		}
+	}
+
+	return Result{
+		Orientations: orient,
+		Outcome:      sim.ExecuteOrientations(p, orient),
+		Stats:        stats,
+	}
+}
+
+// negotiation is the outcome of one arrival-triggered renegotiation.
+type negotiation struct {
+	NegotiationStats
+	net    netsim.Stats
+	plans  [][]float64 // per charger, orientation commands for [lockUntil, maxEnd)
+	agents []*agent    // retained for white-box consistency tests
+}
+
+// negotiate runs the full Algorithm 3 loop (slots outer, colors inner)
+// over the network of agents and returns their sampled plans.
+func negotiate(p *core.Problem, opt Options, known []int, orient [][]float64, now, lockUntil, maxEnd int) negotiation {
+	in := p.In
+	n := len(in.Chargers)
+
+	baseline := perceivedEnergies(p, orient, known, lockUntil)
+	agents := make([]*agent, n)
+	nodes := make([]netsim.Node, n)
+	for i := 0; i < n; i++ {
+		agents[i] = newAgent(i, p, opt.Colors, opt.Samples, opt.Seed, known, baseline)
+		nodes[i] = agents[i]
+	}
+
+	engine := &netsim.Engine{
+		Neighbors: knownNeighbors(p, known),
+		Opt: netsim.Options{
+			Parallel: opt.Parallel,
+			DropRate: opt.DropRate,
+			DupRate:  opt.DupRate,
+		},
+	}
+	if opt.DropRate > 0 || opt.DupRate > 0 {
+		engine.Opt.Rng = rand.New(rand.NewSource(opt.Seed ^ int64(now)<<20))
+	}
+
+	var out negotiation
+	for k := lockUntil; k < maxEnd; k++ {
+		for c := 0; c < opt.Colors; c++ {
+			anyBid := false
+			for _, a := range agents {
+				a.startSession(k, c)
+				if a.myBid > 1e-15 {
+					anyBid = true
+				}
+			}
+			if !anyBid {
+				// Nobody has anything to gain at this (slot, color):
+				// the session would be a single silent round.
+				continue
+			}
+			st, err := engine.Run(nodes)
+			if err != nil {
+				// MaxRounds tripped (only possible under extreme failure
+				// injection); keep whatever was committed so far.
+				out.net.Add(st)
+				continue
+			}
+			out.net.Add(st)
+			if st.Messages > 0 {
+				out.Sessions++
+				out.Messages += st.Messages
+				out.Rounds += st.Rounds
+			}
+		}
+	}
+
+	out.agents = agents
+	out.plans = make([][]float64, n)
+	for i, a := range agents {
+		rng := rand.New(rand.NewSource(opt.Seed ^ int64(now)<<24 ^ int64(i)<<8))
+		out.plans[i] = a.finalPlan(lockUntil, maxEnd, rng)
+	}
+	return out
+}
+
+// perceivedEnergies computes, with relaxed (full-slot) accounting, the
+// energy each known task has harvested from the committed orientation
+// timeline during slots [0, upTo) — the baseline every agent starts its
+// local view from. Unknown tasks stay at zero: no agent can plan around
+// energy it does not know was delivered.
+func perceivedEnergies(p *core.Problem, orient [][]float64, known []int, upTo int) []float64 {
+	in := p.In
+	e := make([]float64, len(in.Tasks))
+	if upTo > p.K {
+		upTo = p.K
+	}
+	isKnown := make([]bool, len(in.Tasks))
+	for _, j := range known {
+		isKnown[j] = true
+	}
+	for i := range in.Chargers {
+		// Only this charger's chargeable known tasks can ever receive
+		// energy from it.
+		var reach []int
+		for j := range in.Tasks {
+			if isKnown[j] && p.SlotEnergy(i, j) > 0 {
+				reach = append(reach, j)
+			}
+		}
+		if len(reach) == 0 {
+			continue
+		}
+		cur := math.NaN()
+		for k := 0; k < upTo; k++ {
+			if k < len(orient[i]) && !math.IsNaN(orient[i][k]) {
+				cur = orient[i][k]
+			}
+			if math.IsNaN(cur) {
+				continue
+			}
+			for _, j := range reach {
+				if in.Tasks[j].ActiveAt(k) && in.Params.Covers(in.Chargers[i], cur, in.Tasks[j]) {
+					e[j] += p.SlotEnergy(i, j)
+				}
+			}
+		}
+	}
+	return e
+}
+
+// knownNeighbors builds the neighbor relation over known tasks only: two
+// chargers are neighbors iff they share a known chargeable task.
+func knownNeighbors(p *core.Problem, known []int) [][]int {
+	in := p.In
+	n := len(in.Chargers)
+	adj := make([]map[int]bool, n)
+	for i := range adj {
+		adj[i] = map[int]bool{}
+	}
+	for _, j := range known {
+		var covers []int
+		for i := 0; i < n; i++ {
+			if p.SlotEnergy(i, j) > 0 {
+				covers = append(covers, i)
+			}
+		}
+		for _, a := range covers {
+			for _, b := range covers {
+				if a != b {
+					adj[a][b] = true
+				}
+			}
+		}
+	}
+	out := make([][]int, n)
+	for i, m := range adj {
+		for b := range m {
+			out[i] = append(out[i], b)
+		}
+		sort.Ints(out[i])
+	}
+	return out
+}

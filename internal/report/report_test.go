@@ -1,0 +1,107 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := NewTable("demo", "x", "utility")
+	t.AddRow(30, 0.5)
+	t.AddRow(60, 0.75)
+	t.AddRow("long-label", "has,comma")
+	return t
+}
+
+func TestWriteText(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"== demo ==", "x", "utility", "0.5000", "0.7500", "long-label"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title + header + separator + 3 rows
+		t.Errorf("got %d lines, want 6:\n%s", len(lines), out)
+	}
+	// Columns aligned: header "utility" starts at same offset in each row.
+	headerIdx := strings.Index(lines[1], "utility")
+	if rowIdx := strings.Index(lines[3], "0.5000"); rowIdx != headerIdx {
+		t.Errorf("column misaligned: header at %d, row at %d", headerIdx, rowIdx)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d CSV lines, want 4:\n%s", len(lines), out)
+	}
+	if lines[0] != "x,utility" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "30,0.5000" {
+		t.Errorf("row = %q", lines[1])
+	}
+	if !strings.Contains(lines[3], `"has,comma"`) {
+		t.Errorf("comma field not quoted: %q", lines[3])
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "### demo\n") {
+		t.Errorf("missing heading:\n%s", out)
+	}
+	if !strings.Contains(out, "| x | utility |") {
+		t.Errorf("missing header row:\n%s", out)
+	}
+	if !strings.Contains(out, "| --- | --- |") {
+		t.Errorf("missing separator:\n%s", out)
+	}
+	if !strings.Contains(out, "| 30 | 0.5000 |") {
+		t.Errorf("missing data row:\n%s", out)
+	}
+	// Pipes in cells must be escaped.
+	tbl := NewTable("", "a")
+	tbl.AddRow("x|y")
+	sb.Reset()
+	if err := tbl.WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `x\|y`) {
+		t.Errorf("pipe not escaped: %q", sb.String())
+	}
+}
+
+func TestCSVEscapeQuotes(t *testing.T) {
+	if got := csvEscape(`say "hi"`); got != `"say ""hi"""` {
+		t.Errorf("csvEscape = %q", got)
+	}
+	if got := csvEscape("plain"); got != "plain" {
+		t.Errorf("csvEscape(plain) = %q", got)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tbl := NewTable("", "a")
+	var sb strings.Builder
+	if err := tbl.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "==") {
+		t.Error("untitled table printed a title banner")
+	}
+}

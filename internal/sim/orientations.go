@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"math"
+
+	"haste/internal/core"
+)
+
+// ExecuteOrientations plays an explicit orientation timeline instead of a
+// policy schedule: orient[i][k] is the orientation commanded to charger i
+// for slot k, with NaN meaning "no command" (the charger keeps its
+// previous orientation, or stays unoriented Φ if it never received one).
+//
+// Coverage is evaluated against the physical model for every task — a
+// charger pointed somewhere charges every active task inside its sector,
+// including tasks the scheduler did not know about when it chose the
+// orientation. This is the executor for the distributed online algorithm,
+// whose agents plan over locally known tasks only.
+func ExecuteOrientations(p *core.Problem, orient [][]float64) Outcome {
+	in := p.In
+	n := len(in.Chargers)
+	K := p.K
+	for i := range orient {
+		if len(orient[i]) > K {
+			K = len(orient[i])
+		}
+	}
+	energy := make([]float64, len(in.Tasks))
+	out := Outcome{PerTask: make([]float64, len(in.Tasks))}
+
+	// chargeable[i]: tasks charger i can ever charge (SlotEnergy > 0).
+	chargeable := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := range in.Tasks {
+			if p.SlotEnergy(i, j) > 0 {
+				chargeable[i] = append(chargeable[i], j)
+			}
+		}
+	}
+
+	cur := make([]float64, n)
+	for i := range cur {
+		cur[i] = math.NaN()
+	}
+	for k := 0; k < K; k++ {
+		for i := 0; i < n; i++ {
+			frac := 1.0
+			if k < len(orient[i]) && !math.IsNaN(orient[i][k]) {
+				cmd := orient[i][k]
+				if math.IsNaN(cur[i]) || cmd != cur[i] {
+					out.Switches++
+					frac = 1 - in.Params.SwitchLoss(cur[i], cmd)
+					cur[i] = cmd
+				}
+			}
+			if math.IsNaN(cur[i]) {
+				continue
+			}
+			for _, j := range chargeable[i] {
+				t := &in.Tasks[j]
+				if t.ActiveAt(k) && in.Params.Covers(in.Chargers[i], cur[i], *t) {
+					energy[j] += p.SlotEnergy(i, j) * frac
+				}
+			}
+		}
+	}
+	out.Energy = energy
+	u := in.U()
+	for j, t := range in.Tasks {
+		out.PerTask[j] = u.Of(energy[j], t.Energy)
+		out.Utility += t.Weight * out.PerTask[j]
+	}
+	return out
+}

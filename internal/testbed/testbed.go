@@ -1,0 +1,231 @@
+// Package testbed models the paper's field experiments (§8) in software.
+//
+// The physical testbed consisted of Powercast TX91501 power transmitters
+// mounted on rotatable platforms and rechargeable sensor nodes. The paper
+// drives both its scheduling decisions and its analysis through the
+// fitted analytic charging model with the empirical constants
+//
+//	α = 41.93, β = 0.6428, D = 4 m, A_s = 60°, A_o = 120°,
+//	ρ = 1/12, τ = 1, w_j = 1/8 (1/20 on the large testbed), T_s = 1 min,
+//
+// so executing the same model in software exercises exactly the code paths
+// the hardware experiment exercised (see DESIGN.md, substitution table).
+// Power is in milliwatts and energy in millijoules. The paper states
+// required energies of 3–5 J but does not publish per-task values; with
+// the published α and one-minute slots the analytic model delivers roughly
+// 0.5–1.8 J per covered slot at testbed distances, so 3–5 J would saturate
+// within a couple of slots and every algorithm would tie at utility 1. We
+// therefore scale the requirements (~9–17 J) to put the testbed in the
+// contended regime the paper's Figs. 21/22/24/25 clearly operate in (per-
+// task utilities spread well below 1). The comparison shape — who wins and
+// by how much — is what the reproduction preserves.
+//
+// Topology 1 (Fig. 20): 8 transmitters on the boundary of a 2.4 m × 2.4 m
+// square, 8 sensor nodes inside, one task per node. Tasks 1 and 6 (IDs 0
+// and 5) have the two longest durations, which the paper calls out as the
+// reason they reach the highest utility.
+//
+// Topology 2 (Fig. 23): 16 transmitters and 20 nodes, irregular; the paper
+// generated it randomly, so we generate it from a fixed seed.
+package testbed
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"haste/internal/baseline"
+	"haste/internal/core"
+	"haste/internal/geom"
+	"haste/internal/model"
+	"haste/internal/online"
+	"haste/internal/sim"
+)
+
+// params returns the hardware constants shared by both topologies.
+func params() model.Params {
+	return model.Params{
+		Alpha: 41.93, Beta: 0.6428, Radius: 4,
+		ChargeAngle:  geom.Deg(60),
+		ReceiveAngle: geom.Deg(120),
+		SlotSeconds:  60,
+		Rho:          1.0 / 12,
+		Tau:          1,
+	}
+}
+
+// Topology1 returns the small testbed: 8 chargers on the boundary of the
+// 2.4 m square, 8 sensor nodes inside. Positions, device orientations and
+// task windows follow the layout style of Fig. 20; required energies lie
+// in the paper's [3 J, 5 J] range.
+func Topology1() *model.Instance {
+	in := &model.Instance{Params: params()}
+	// Transmitters: four corners and four edge midpoints.
+	chargerPos := []geom.Point{
+		{X: 0, Y: 0}, {X: 1.2, Y: 0}, {X: 2.4, Y: 0}, {X: 2.4, Y: 1.2},
+		{X: 2.4, Y: 2.4}, {X: 1.2, Y: 2.4}, {X: 0, Y: 2.4}, {X: 0, Y: 1.2},
+	}
+	for i, p := range chargerPos {
+		in.Chargers = append(in.Chargers, model.Charger{ID: i, Pos: p})
+	}
+	// Sensor nodes on a ring of radius 0.85 m around the field center,
+	// one per 45° octant, each facing the bisector of its two nearest
+	// transmitters so both fall inside its 120° receiving sector. That
+	// gives the edge transmitters genuinely conflicting candidate nodes
+	// (more than one dominant task set), which is what makes the testbed
+	// scheduling problem non-trivial. Windows and required energies (mJ)
+	// follow Fig. 20's style; tasks 0 and 5 carry the longest windows
+	// (the paper's tasks 1 and 6, which it singles out as reaching the
+	// top utilities thanks to their durations).
+	windows := []struct {
+		rel, end int
+		energy   float64
+	}{
+		{0, 12, 14000}, // task 1: longest duration
+		{1, 8, 13000},
+		{2, 9, 16000},
+		{1, 7, 11000},
+		{3, 10, 15000},
+		{0, 11, 12500}, // task 6: second-longest duration
+		{4, 9, 12000},
+		{2, 8, 17000},
+	}
+	center := geom.Point{X: 1.2, Y: 1.2}
+	const ringRadius = 0.85
+	for j, w := range windows {
+		ringAngle := geom.Deg(22.5 + 45*float64(j))
+		pos := center.Add(geom.UnitVec(ringAngle).Scale(ringRadius))
+		in.Tasks = append(in.Tasks, model.Task{
+			ID:      j,
+			Pos:     pos,
+			Phi:     bisectorToNearestTwo(pos, chargerPos),
+			Release: w.rel,
+			End:     w.end,
+			Energy:  w.energy,
+			Weight:  1.0 / 8,
+		})
+	}
+	return in
+}
+
+// bisectorToNearestTwo returns the circular midpoint of the azimuths from
+// pos to its two nearest chargers — the device orientation that keeps both
+// inside a 120° receiving sector.
+func bisectorToNearestTwo(pos geom.Point, chargers []geom.Point) float64 {
+	best, second := -1, -1
+	for i, c := range chargers {
+		d := pos.Dist(c)
+		switch {
+		case best < 0 || d < pos.Dist(chargers[best]):
+			second = best
+			best = i
+		case second < 0 || d < pos.Dist(chargers[second]):
+			second = i
+		}
+	}
+	a := geom.Azimuth(pos, chargers[best])
+	b := geom.Azimuth(pos, chargers[second])
+	// Circular midpoint via the half-way rotation from a toward b.
+	diff := geom.NormalizeAngle(b - a)
+	if diff > math.Pi {
+		diff -= geom.TwoPi
+	}
+	return geom.NormalizeAngle(a + diff/2)
+}
+
+// Topology2 returns the large testbed: 16 transmitters and 20 sensor
+// nodes on a 4.8 m square, generated from a fixed seed (the paper
+// generated its large topology randomly, too).
+func Topology2() *model.Instance {
+	rng := rand.New(rand.NewSource(20180814)) // ICPP'18 vintage
+	in := &model.Instance{Params: params()}
+	const side = 4.8
+	for i := 0; i < 16; i++ {
+		in.Chargers = append(in.Chargers, model.Charger{
+			ID:  i,
+			Pos: geom.Point{X: rng.Float64() * side, Y: rng.Float64() * side},
+		})
+	}
+	for j := 0; j < 20; j++ {
+		pos := geom.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+		// Face a random charger so most tasks are chargeable, as in a
+		// deployed testbed where nodes are oriented toward transmitters.
+		target := in.Chargers[rng.Intn(len(in.Chargers))].Pos
+		rel := rng.Intn(4)
+		in.Tasks = append(in.Tasks, model.Task{
+			ID:      j,
+			Pos:     pos,
+			Phi:     geom.Azimuth(pos, target),
+			Release: rel,
+			End:     rel + 4 + rng.Intn(8),
+			Energy:  9000 + rng.Float64()*8000,
+			Weight:  1.0 / 20,
+		})
+	}
+	return in
+}
+
+// Mode selects the scheduling scenario.
+type Mode int
+
+const (
+	// Offline: all tasks known a priori, centralized Algorithm 2.
+	Offline Mode = iota
+	// Online: tasks arrive at release time, distributed Algorithm 3.
+	Online
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Online {
+		return "online"
+	}
+	return "offline"
+}
+
+// Comparison holds the per-task utilities of the three algorithms on one
+// topology — the content of Figs. 21/22 (Topology 1) and 24/25
+// (Topology 2).
+type Comparison struct {
+	Mode          Mode
+	HASTE         []float64 // per-task utility, HASTE with C = 4
+	GreedyUtility []float64
+	GreedyCover   []float64
+	HASTETotal    float64
+	UtilityTotal  float64
+	CoverTotal    float64
+}
+
+// Compare runs HASTE (C = 4), GreedyUtility and GreedyCover on the
+// instance in the given mode and reports per-task utilities.
+func Compare(in *model.Instance, mode Mode, seed int64) (Comparison, error) {
+	p, err := core.NewProblem(in)
+	if err != nil {
+		return Comparison{}, fmt.Errorf("testbed: %w", err)
+	}
+	c := Comparison{Mode: mode}
+
+	var haste sim.Outcome
+	if mode == Offline {
+		res := core.TabularGreedy(p, core.Options{
+			Colors: 4, PreferStay: true, Rng: rand.New(rand.NewSource(seed)),
+		})
+		haste = sim.Execute(p, res.Schedule)
+	} else {
+		haste = online.Run(p, online.Options{Colors: 4, Seed: seed}).Outcome
+	}
+	c.HASTE = haste.PerTask
+	c.HASTETotal = haste.Utility
+
+	var gu, gc sim.Outcome
+	if mode == Offline {
+		gu = sim.Execute(p, baseline.GreedyUtility(p))
+		gc = sim.Execute(p, baseline.GreedyCover(p))
+	} else {
+		gu = sim.Execute(p, baseline.GreedyUtilityOnline(p))
+		gc = sim.Execute(p, baseline.GreedyCoverOnline(p))
+	}
+	c.GreedyUtility, c.UtilityTotal = gu.PerTask, gu.Utility
+	c.GreedyCover, c.CoverTotal = gc.PerTask, gc.Utility
+	return c, nil
+}

@@ -1,0 +1,138 @@
+package testbed
+
+import (
+	"sort"
+	"testing"
+
+	"haste/internal/core"
+	"haste/internal/model"
+)
+
+func TestTopologiesValid(t *testing.T) {
+	for name, in := range map[string]interface{ Validate() error }{
+		"Topology1": Topology1(),
+		"Topology2": Topology2(),
+	} {
+		if err := in.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestTopology1Shape(t *testing.T) {
+	in := Topology1()
+	if len(in.Chargers) != 8 || len(in.Tasks) != 8 {
+		t.Fatalf("sizes: %d chargers, %d tasks", len(in.Chargers), len(in.Tasks))
+	}
+	for _, tk := range in.Tasks {
+		// Scaled contended-regime requirements (see package comment).
+		if tk.Energy < 9000 || tk.Energy > 17000 {
+			t.Errorf("task %d energy %v outside the scaled [9,17] J range", tk.ID, tk.Energy)
+		}
+		if tk.Weight != 1.0/8 {
+			t.Errorf("task %d weight %v", tk.ID, tk.Weight)
+		}
+	}
+	// Every task must be chargeable by at least one transmitter —
+	// otherwise the testbed layout is broken.
+	p, err := core.NewProblem(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range in.Tasks {
+		reachable := false
+		for i := range in.Chargers {
+			if p.SlotEnergy(i, j) > 0 {
+				reachable = true
+				break
+			}
+		}
+		if !reachable {
+			t.Errorf("task %d unreachable by every charger", j)
+		}
+	}
+}
+
+func TestTopology2Shape(t *testing.T) {
+	in := Topology2()
+	if len(in.Chargers) != 16 || len(in.Tasks) != 20 {
+		t.Fatalf("sizes: %d chargers, %d tasks", len(in.Chargers), len(in.Tasks))
+	}
+	// Deterministic: two calls give identical instances.
+	b := Topology2()
+	for j := range in.Tasks {
+		if in.Tasks[j] != b.Tasks[j] {
+			t.Fatal("Topology2 not deterministic")
+		}
+	}
+	p, err := core.NewProblem(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reachable := 0
+	for j := range in.Tasks {
+		for i := range in.Chargers {
+			if p.SlotEnergy(i, j) > 0 {
+				reachable++
+				break
+			}
+		}
+	}
+	if reachable < 15 {
+		t.Errorf("only %d/20 tasks reachable", reachable)
+	}
+}
+
+func TestCompareModes(t *testing.T) {
+	for _, mode := range []Mode{Offline, Online} {
+		for name, in := range map[string]*model.Instance{"T1": Topology1(), "T2": Topology2()} {
+			c, err := Compare(in, mode, 1)
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, mode, err)
+			}
+			if len(c.HASTE) != len(c.GreedyUtility) || len(c.HASTE) != len(c.GreedyCover) {
+				t.Fatalf("%s %s: per-task slices differ in length", name, mode)
+			}
+			for j, u := range c.HASTE {
+				if u < 0 || u > 1+1e-9 {
+					t.Errorf("%s %s task %d HASTE utility %v out of range", name, mode, j, u)
+				}
+			}
+			// The paper's headline: HASTE beats both baselines in total.
+			if c.HASTETotal < c.UtilityTotal-1e-9 {
+				t.Errorf("%s %s: HASTE %v < GreedyUtility %v", name, mode, c.HASTETotal, c.UtilityTotal)
+			}
+			if c.HASTETotal < c.CoverTotal-1e-9 {
+				t.Errorf("%s %s: HASTE %v < GreedyCover %v", name, mode, c.HASTETotal, c.CoverTotal)
+			}
+		}
+	}
+}
+
+// The paper notes tasks 1 and 6 (IDs 0 and 5) achieve the two highest
+// utilities on Topology 1 thanks to their long durations.
+func TestTopology1LongTasksWin(t *testing.T) {
+	c, err := Compare(Topology1(), Offline, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type tu struct {
+		id int
+		u  float64
+	}
+	all := make([]tu, len(c.HASTE))
+	for j, u := range c.HASTE {
+		all[j] = tu{j, u}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].u > all[b].u })
+	top2 := map[int]bool{all[0].id: true, all[1].id: true}
+	if !top2[0] && !top2[5] {
+		t.Errorf("expected task 0 or 5 among top-2 utilities, got %v", all[:2])
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Offline.String() != "offline" || Online.String() != "online" {
+		t.Error("Mode.String wrong")
+	}
+}

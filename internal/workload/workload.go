@@ -1,0 +1,178 @@
+// Package workload generates HASTE problem instances: the paper's default
+// simulation setup (§7.1), the small-scale setup used to compare against
+// the brute-force optimum (§7.3.1), and the Gaussian task placement used
+// for the insight experiments (§7.5, Fig. 17). All randomness flows
+// through an explicit *rand.Rand so every experiment is reproducible.
+package workload
+
+import (
+	"math/rand"
+
+	"haste/internal/geom"
+	"haste/internal/model"
+)
+
+// Placement selects how task positions are drawn.
+type Placement int
+
+const (
+	// Uniform scatters positions uniformly over the field (§7.1).
+	Uniform Placement = iota
+	// Gaussian draws each coordinate from N(Mu, Sigma), clamped to the
+	// field (§7.5). Chargers remain uniform.
+	Gaussian
+)
+
+// Config describes a workload. Durations and release times are in whole
+// time slots (the paper uses T_s = 1 min, so slots are minutes).
+type Config struct {
+	FieldSide   float64 // square field side, meters
+	NumChargers int     // n
+	NumTasks    int     // m
+	Params      model.Params
+
+	EnergyMin, EnergyMax     float64 // E_j range, joules
+	DurationMin, DurationMax int     // task duration range, slots
+	ReleaseMax               int     // releases drawn uniformly from [0, ReleaseMax]
+
+	// ArrivalRate, when positive, replaces the uniform release draw with
+	// a Poisson arrival process: successive release slots are separated
+	// by exponential gaps with the given mean arrival rate (tasks per
+	// slot). This models the "charging tasks stochastically arrive"
+	// scenario of the online evaluation more literally than the uniform
+	// default; ReleaseMax is ignored.
+	ArrivalRate float64
+
+	// Weight per task; 0 means 1/m (the paper's w_j = 1/200).
+	Weight float64
+
+	Placement        Placement
+	MuX, MuY         float64 // Gaussian mean (defaults to field center)
+	SigmaX, SigmaY   float64 // Gaussian std deviations
+	DeviceTowardBias float64 // probability a device faces the nearest charger (0 = uniform φ)
+}
+
+// Default returns the paper's §7.1 setup: 50 m × 50 m field, n = 50
+// chargers, m = 200 tasks, α = 10000, β = 40, D = 20 m, T_s = 1 min,
+// ρ = 1/12, τ = 1, A_s = A_o = π/3, E_j ∈ [5, 20] kJ and durations in
+// [10, 120] min, w_j = 1/200.
+func Default() Config {
+	return Config{
+		FieldSide:   50,
+		NumChargers: 50,
+		NumTasks:    200,
+		Params: model.Params{
+			Alpha: 10000, Beta: 40, Radius: 20,
+			ChargeAngle: geom.Deg(60), ReceiveAngle: geom.Deg(60),
+			SlotSeconds: 60, Rho: 1.0 / 12, Tau: 1,
+		},
+		EnergyMin: 5e3, EnergyMax: 20e3,
+		DurationMin: 10, DurationMax: 120,
+		ReleaseMax: 60,
+	}
+}
+
+// SmallScale returns the §7.3.1 setup used for the optimality comparison:
+// five chargers and ten tasks on a 10 m × 10 m field, E_j ∈ [200, 800] J
+// and durations in [1, 5] min (raised to the 2τ minimum when τ > 0).
+func SmallScale() Config {
+	c := Default()
+	c.FieldSide = 10
+	c.NumChargers = 5
+	c.NumTasks = 10
+	c.EnergyMin, c.EnergyMax = 200, 800
+	c.DurationMin, c.DurationMax = 1, 5
+	c.ReleaseMax = 2
+	return c
+}
+
+// Generate draws an instance from the configuration. The result always
+// passes model.Validate: durations are clamped to at least max(1, 2τ).
+func (c Config) Generate(rng *rand.Rand) *model.Instance {
+	in := &model.Instance{Params: c.Params}
+	for i := 0; i < c.NumChargers; i++ {
+		in.Chargers = append(in.Chargers, model.Charger{
+			ID:  i,
+			Pos: geom.Point{X: rng.Float64() * c.FieldSide, Y: rng.Float64() * c.FieldSide},
+		})
+	}
+	w := c.Weight
+	if w == 0 && c.NumTasks > 0 {
+		w = 1 / float64(c.NumTasks)
+	}
+	minDur := c.DurationMin
+	if minDur < 1 {
+		minDur = 1
+	}
+	if c.Params.Tau > 0 && minDur < 2*c.Params.Tau {
+		minDur = 2 * c.Params.Tau
+	}
+	maxDur := c.DurationMax
+	if maxDur < minDur {
+		maxDur = minDur
+	}
+	arrival := 0.0
+	for j := 0; j < c.NumTasks; j++ {
+		pos := c.taskPos(rng)
+		phi := rng.Float64() * geom.TwoPi
+		if c.DeviceTowardBias > 0 && rng.Float64() < c.DeviceTowardBias {
+			if nearest := c.nearestCharger(in, pos); nearest >= 0 {
+				phi = geom.Azimuth(pos, in.Chargers[nearest].Pos)
+			}
+		}
+		dur := minDur + rng.Intn(maxDur-minDur+1)
+		rel := 0
+		switch {
+		case c.ArrivalRate > 0:
+			arrival += rng.ExpFloat64() / c.ArrivalRate
+			rel = int(arrival)
+		case c.ReleaseMax > 0:
+			rel = rng.Intn(c.ReleaseMax + 1)
+		}
+		in.Tasks = append(in.Tasks, model.Task{
+			ID:      j,
+			Pos:     pos,
+			Phi:     phi,
+			Release: rel,
+			End:     rel + dur,
+			Energy:  c.EnergyMin + rng.Float64()*(c.EnergyMax-c.EnergyMin),
+			Weight:  w,
+		})
+	}
+	return in
+}
+
+func (c Config) taskPos(rng *rand.Rand) geom.Point {
+	if c.Placement != Gaussian {
+		return geom.Point{X: rng.Float64() * c.FieldSide, Y: rng.Float64() * c.FieldSide}
+	}
+	mx, my := c.MuX, c.MuY
+	if mx == 0 && my == 0 {
+		mx, my = c.FieldSide/2, c.FieldSide/2
+	}
+	return geom.Point{
+		X: clamp(rng.NormFloat64()*c.SigmaX+mx, 0, c.FieldSide),
+		Y: clamp(rng.NormFloat64()*c.SigmaY+my, 0, c.FieldSide),
+	}
+}
+
+func (c Config) nearestCharger(in *model.Instance, pos geom.Point) int {
+	best, bestD := -1, 0.0
+	for i, ch := range in.Chargers {
+		d := ch.Pos.Dist(pos)
+		if best < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

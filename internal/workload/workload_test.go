@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"haste/internal/geom"
+)
+
+func TestDefaultGeneratesValidInstance(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	in := Default().Generate(rng)
+	if err := in.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(in.Chargers) != 50 || len(in.Tasks) != 200 {
+		t.Fatalf("sizes: %d chargers, %d tasks", len(in.Chargers), len(in.Tasks))
+	}
+	if w := in.TotalWeight(); math.Abs(w-1) > 1e-9 {
+		t.Errorf("total weight = %v, want 1", w)
+	}
+	for _, tk := range in.Tasks {
+		if tk.Energy < 5e3 || tk.Energy > 20e3 {
+			t.Errorf("task %d energy %v outside [5k,20k]", tk.ID, tk.Energy)
+		}
+		d := tk.Duration()
+		if d < 10 || d > 120 {
+			t.Errorf("task %d duration %d outside [10,120]", tk.ID, d)
+		}
+		if tk.Release < 0 || tk.Release > 60 {
+			t.Errorf("task %d release %d", tk.ID, tk.Release)
+		}
+		if tk.Pos.X < 0 || tk.Pos.X > 50 || tk.Pos.Y < 0 || tk.Pos.Y > 50 {
+			t.Errorf("task %d outside field: %v", tk.ID, tk.Pos)
+		}
+	}
+	for _, c := range in.Chargers {
+		if c.Pos.X < 0 || c.Pos.X > 50 || c.Pos.Y < 0 || c.Pos.Y > 50 {
+			t.Errorf("charger %d outside field: %v", c.ID, c.Pos)
+		}
+	}
+}
+
+func TestSmallScaleRespectsTauConstraint(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	cfg := SmallScale()
+	for trial := 0; trial < 20; trial++ {
+		in := cfg.Generate(rng)
+		if err := in.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(in.Chargers) != 5 || len(in.Tasks) != 10 {
+			t.Fatalf("sizes wrong")
+		}
+		for _, tk := range in.Tasks {
+			if tk.Duration() < 2*cfg.Params.Tau {
+				t.Fatalf("duration %d < 2τ", tk.Duration())
+			}
+			if tk.Duration() > 5 {
+				t.Fatalf("duration %d > 5", tk.Duration())
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	cfg := Default()
+	a := cfg.Generate(rand.New(rand.NewSource(99)))
+	b := cfg.Generate(rand.New(rand.NewSource(99)))
+	for j := range a.Tasks {
+		if a.Tasks[j] != b.Tasks[j] {
+			t.Fatalf("task %d differs between identical seeds", j)
+		}
+	}
+	c := cfg.Generate(rand.New(rand.NewSource(100)))
+	same := true
+	for j := range a.Tasks {
+		if a.Tasks[j] != c.Tasks[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestGaussianPlacementConcentrates(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	cfg := Default()
+	cfg.Placement = Gaussian
+	cfg.SigmaX, cfg.SigmaY = 2, 2
+	in := cfg.Generate(rng)
+	// With σ = 2 nearly all tasks should land within 10 m of the center.
+	center := geom.Point{X: 25, Y: 25}
+	far := 0
+	for _, tk := range in.Tasks {
+		if tk.Pos.Dist(center) > 10 {
+			far++
+		}
+	}
+	if far > len(in.Tasks)/20 {
+		t.Errorf("%d/%d tasks far from center with σ=2", far, len(in.Tasks))
+	}
+	// Wide σ must spread tasks out.
+	cfg.SigmaX, cfg.SigmaY = 50, 50
+	in = cfg.Generate(rng)
+	far = 0
+	for _, tk := range in.Tasks {
+		if tk.Pos.Dist(center) > 10 {
+			far++
+		}
+	}
+	if far < len(in.Tasks)/4 {
+		t.Errorf("only %d/%d tasks far from center with σ=50", far, len(in.Tasks))
+	}
+}
+
+func TestDeviceTowardBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	cfg := SmallScale()
+	cfg.DeviceTowardBias = 1
+	in := cfg.Generate(rng)
+	for _, tk := range in.Tasks {
+		// Every device must face its nearest charger exactly.
+		bestD := math.Inf(1)
+		var bestAz float64
+		for _, c := range in.Chargers {
+			if d := c.Pos.Dist(tk.Pos); d < bestD {
+				bestD = d
+				bestAz = geom.Azimuth(tk.Pos, c.Pos)
+			}
+		}
+		if geom.AngDist(tk.Phi, bestAz) > 1e-9 {
+			t.Fatalf("task %d φ=%v not facing nearest charger az=%v", tk.ID, tk.Phi, bestAz)
+		}
+	}
+}
+
+func TestPoissonArrivals(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	cfg := Default()
+	cfg.ArrivalRate = 2 // ~2 tasks per slot
+	in := cfg.Generate(rng)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Releases must be non-decreasing in task order (a point process).
+	last := 0
+	maxRel := 0
+	for _, tk := range in.Tasks {
+		if tk.Release < last {
+			t.Fatalf("releases not ordered: %d after %d", tk.Release, last)
+		}
+		last = tk.Release
+		if tk.Release > maxRel {
+			maxRel = tk.Release
+		}
+	}
+	// 200 tasks at rate 2/slot should span roughly 100 slots.
+	if maxRel < 50 || maxRel > 200 {
+		t.Errorf("Poisson span %d slots, expected ≈100", maxRel)
+	}
+	// A much lower rate must stretch the horizon accordingly.
+	cfg.ArrivalRate = 0.5
+	in2 := cfg.Generate(rand.New(rand.NewSource(86)))
+	maxRel2 := 0
+	for _, tk := range in2.Tasks {
+		if tk.Release > maxRel2 {
+			maxRel2 = tk.Release
+		}
+	}
+	if maxRel2 <= maxRel {
+		t.Errorf("rate 0.5 span %d not larger than rate 2 span %d", maxRel2, maxRel)
+	}
+}
+
+func TestZeroReleaseMax(t *testing.T) {
+	cfg := Default()
+	cfg.ReleaseMax = 0
+	in := cfg.Generate(rand.New(rand.NewSource(85)))
+	for _, tk := range in.Tasks {
+		if tk.Release != 0 {
+			t.Fatalf("release = %d, want 0", tk.Release)
+		}
+	}
+}

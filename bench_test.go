@@ -132,6 +132,54 @@ func BenchmarkTabularGreedyC4(b *testing.B) {
 	}
 }
 
+// BenchmarkTabularGreedyWorkers sweeps the worker pool bound at the
+// Fig. 7 configuration (C = 4, §7.1 defaults) and at C = 1. Every worker
+// count produces a bit-identical schedule (internal/difftest enforces it);
+// this bench records what the fan-out buys in wall-clock time.
+// BENCH_core.json keeps the measured speedup table.
+func BenchmarkTabularGreedyWorkers(b *testing.B) {
+	p := paperScaleProblem(b)
+	for _, cfg := range []struct {
+		name    string
+		colors  int
+		workers int
+	}{
+		{"C4/W1", 4, 1}, {"C4/W2", 4, 2}, {"C4/W4", 4, 4}, {"C4/W8", 4, 8},
+		{"C1/W1", 1, 1}, {"C1/W4", 1, 4},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.TabularGreedy(p, core.Options{
+					Colors: cfg.colors, PreferStay: true, Workers: cfg.workers,
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkTabularGreedyLazy compares the eager full policy scan against
+// the lazy stale-bound selector (Options.Lazy) — the TabularGreedy-side
+// counterpart of BenchmarkAblationLazy. Both produce identical schedules;
+// the lazy path just skips the marginal evaluations that cannot win.
+func BenchmarkTabularGreedyLazy(b *testing.B) {
+	p := paperScaleProblem(b)
+	for _, cfg := range []struct {
+		name string
+		opt  core.Options
+	}{
+		{"C1/eager", core.Options{Colors: 1, PreferStay: true, Workers: 1}},
+		{"C1/lazy", core.Options{Colors: 1, PreferStay: true, Workers: 1, Lazy: true}},
+		{"C4/eager", core.Options{Colors: 4, PreferStay: true, Workers: 1}},
+		{"C4/lazy", core.Options{Colors: 4, PreferStay: true, Workers: 1, Lazy: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.TabularGreedy(p, cfg.opt)
+			}
+		})
+	}
+}
+
 func BenchmarkSimExecute(b *testing.B) {
 	p := paperScaleProblem(b)
 	res := core.TabularGreedy(p, core.DefaultOptions(1))

@@ -5,7 +5,7 @@
 //	haste list
 //	    Print the experiment index (figure IDs and titles).
 //
-//	haste run --fig fig4 [--reps N] [--seed S] [--samples N] [--csv] [--quick]
+//	haste run --fig fig4 [--reps N] [--seed S] [--samples N] [--workers N] [--csv] [--quick]
 //	    Run one experiment and print its series as a table (or CSV).
 //
 //	haste run --all [flags]
@@ -69,6 +69,7 @@ func runCmd(args []string) error {
 	reps := fs.Int("reps", 0, "topologies per data point (default 3; paper uses 100)")
 	seed := fs.Int64("seed", 1, "base RNG seed")
 	samples := fs.Int("samples", 0, "Monte-Carlo color samples for C>1 (0 = default)")
+	workers := fs.Int("workers", 0, "scheduler worker pool bound (0 = one per CPU, 1 = sequential; figures are identical either way)")
 	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
 	format := fs.String("format", "", "output format: text (default), csv, or markdown")
 	outDir := fs.String("out", "", "write each experiment to <dir>/<id>.<ext> instead of stdout")
@@ -77,7 +78,7 @@ func runCmd(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := experiments.Options{Reps: *reps, Seed: *seed, Samples: *samples, Quick: *quick}
+	opts := experiments.Options{Reps: *reps, Seed: *seed, Samples: *samples, Quick: *quick, Workers: *workers}
 	fmtName := *format
 	if fmtName == "" {
 		fmtName = "text"
@@ -166,6 +167,8 @@ flags for run:
   --reps N        topologies per data point (default 3, paper: 100)
   --seed S        base RNG seed (default 1)
   --samples N     Monte-Carlo color samples for C>1 (0 = algorithm default)
+  --workers N     scheduler worker pool bound (0 = one per CPU, 1 = sequential;
+                  every value regenerates bit-identical figures)
   --format F      text (default), csv, or markdown
   --out DIR       write each experiment to DIR/<id>.<ext>
   --summary       append the paper-style headline claims

@@ -1,0 +1,109 @@
+// Differential tests: every execution strategy of TabularGreedy — the
+// pooled parallel fan at any worker count and the lazy stale-bound
+// selector — must reproduce the sequential reference byte-for-byte on the
+// seeded workload sweep. This file (with the internal/difftest harness) is
+// the determinism contract of DESIGN.md §3 "Parallel execution &
+// determinism"; CI additionally runs it under the race detector.
+package core_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"haste/internal/core"
+	"haste/internal/difftest"
+)
+
+// TestTabularGreedyDifferentialSweep is the acceptance-criteria suite: for
+// every seeded case, Workers ∈ {1, 2, 8, GOMAXPROCS} and the lazy variant
+// produce identical Schedule.Policy tables and equal RUtility.
+func TestTabularGreedyDifferentialSweep(t *testing.T) {
+	for _, c := range difftest.Sweep() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			if err := difftest.Run(c, difftest.Variants()); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestTabularGreedyWorkerCountIrrelevant drives one mid-size C > 1 case
+// through a denser worker-count grid than the standard variant set,
+// including counts far above both GOMAXPROCS and the sample count.
+func TestTabularGreedyWorkerCountIrrelevant(t *testing.T) {
+	c := difftest.Case{Name: "worker-grid", Chargers: 6, Tasks: 24,
+		Duration: [2]int{4, 10}, Releases: 5, Colors: 3, Samples: 9, Seed: 42}
+	p, err := c.Problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := core.TabularGreedy(p, c.Options(1, false))
+	for _, w := range []int{2, 3, 4, 5, 7, 16, 64} {
+		got := core.TabularGreedy(p, c.Options(w, false))
+		if err := difftest.CompareResults(ref, got); err != nil {
+			t.Errorf("workers=%d: %v", w, err)
+		}
+	}
+}
+
+// TestTabularGreedyLazyParallelComposition checks the remaining option
+// combinations: Lazy together with a Workers override (lazy selection is
+// sequential by design, but the options must still compose), and
+// PreferStay off under every strategy.
+func TestTabularGreedyLazyParallelComposition(t *testing.T) {
+	c := difftest.Case{Name: "compose", Chargers: 5, Tasks: 20,
+		Duration: [2]int{3, 9}, Releases: 4, Colors: 2, Seed: 77}
+	p, err := c.Problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, preferStay := range []bool{true, false} {
+		mkOpts := func(workers int, lazy bool) core.Options {
+			o := c.Options(workers, lazy)
+			o.PreferStay = preferStay
+			return o
+		}
+		ref := core.TabularGreedy(p, mkOpts(1, false))
+		for _, v := range []struct {
+			name    string
+			workers int
+			lazy    bool
+		}{{"lazy+workers4", 4, true}, {"workers3", 3, false}, {"lazy", 1, true}} {
+			got := core.TabularGreedy(p, mkOpts(v.workers, v.lazy))
+			if err := difftest.CompareResults(ref, got); err != nil {
+				t.Errorf("preferStay=%v %s: %v", preferStay, v.name, err)
+			}
+		}
+	}
+}
+
+// TestCompareResultsDetectsDivergence guards the harness itself: a flipped
+// policy cell and a perturbed utility must both be reported.
+func TestCompareResultsDetectsDivergence(t *testing.T) {
+	c := difftest.Sweep()[0]
+	p, err := c.Problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := core.TabularGreedy(p, c.Options(1, false))
+	if err := difftest.CompareResults(ref, ref); err != nil {
+		t.Fatalf("self-comparison failed: %v", err)
+	}
+
+	mut := core.Result{Schedule: ref.Schedule.Clone(), RUtility: ref.RUtility}
+	rng := rand.New(rand.NewSource(1))
+	i := rng.Intn(len(mut.Schedule.Policy))
+	k := rng.Intn(len(mut.Schedule.Policy[i]))
+	mut.Schedule.Policy[i][k]++
+	if err := difftest.CompareResults(ref, mut); err == nil {
+		t.Error("flipped policy cell not detected")
+	}
+
+	mut = core.Result{Schedule: ref.Schedule.Clone(), RUtility: math.Nextafter(ref.RUtility, 2)}
+	if err := difftest.CompareResults(ref, mut); err == nil {
+		t.Error("one-ulp utility drift not detected")
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"runtime"
 )
 
 // Options configures the centralized offline algorithm.
@@ -27,6 +28,24 @@ type Options struct {
 	// (and hence switching-delay losses) once tasks saturate. Defaults to
 	// true via DefaultOptions.
 	PreferStay bool
+
+	// Workers bounds the worker pool that fans the per-sample marginal
+	// accumulation and the per-sample state updates of each greedy step.
+	// 0 defaults to runtime.GOMAXPROCS(0); 1 runs the plain sequential
+	// path with no pool. Every worker count produces a bit-identical
+	// schedule: each (sample, policy) marginal is computed independently
+	// and the per-policy gains are reduced in a fixed canonical order
+	// (sample-major, exactly the sequential accumulation order), so the
+	// floating-point result cannot depend on goroutine scheduling. The
+	// differential suite in internal/difftest enforces this.
+	Workers int
+
+	// Lazy selects policies through the stale-bound selector: cached
+	// optimistic marginals (valid upper bounds under submodularity, see
+	// lazy.go) let a greedy step skip exactly those policies that cannot
+	// reach the running best gain. Schedules are bit-identical to the
+	// eager path; only the number of marginal evaluations changes.
+	Lazy bool
 }
 
 // DefaultOptions returns the options used by the paper's experiments for
@@ -52,6 +71,9 @@ func (o Options) normalize() Options {
 	if o.Rng == nil {
 		o.Rng = rand.New(rand.NewSource(1))
 	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
@@ -70,6 +92,9 @@ type Result struct {
 // greedy ½-approximation; as C → ∞ the approximation ratio approaches
 // 1−1/e (Lemma 5.1), and accounting for switching delay the overall
 // guarantee is (1−ρ)(1−1/e) (Theorem 5.1).
+//
+// Execution strategy (Workers, Lazy) never changes the output schedule —
+// only how fast it is found. See Options.Workers and Options.Lazy.
 func TabularGreedy(p *Problem, opt Options) Result {
 	opt = opt.normalize()
 	n, K, C, N := len(p.In.Chargers), p.K, opt.Colors, opt.Samples
@@ -105,6 +130,9 @@ func TabularGreedy(p *Problem, opt Options) Result {
 		q[i] = row
 	}
 
+	sel := newSelector(p, opt)
+	defer sel.close()
+
 	affected := make([]int, 0, N)
 	for c := 0; c < C; c++ {
 		for k := 0; k < K; k++ {
@@ -119,11 +147,9 @@ func TabularGreedy(p *Problem, opt Options) Result {
 				if opt.PreferStay && k > 0 {
 					prev = q[i][(k-1)*C+c]
 				}
-				best := selectPolicy(p, states, affected, i, k, int(prev), opt.PreferStay)
+				best := sel.selectPolicy(states, affected, i, k, int(prev))
 				q[i][k*C+c] = int32(best)
-				for _, s := range affected {
-					states[s].Apply(i, k, best)
-				}
+				sel.apply(states, affected, i, k, best)
 			}
 		}
 	}
@@ -138,23 +164,36 @@ func TabularGreedy(p *Problem, opt Options) Result {
 	return Result{Schedule: sched, RUtility: Evaluate(p, sched)}
 }
 
-// selectPolicy returns the policy index for partition (i,k) maximizing the
-// summed marginal over the affected sample states, breaking exact ties
-// toward prev (when preferStay) and then toward the lowest index.
-func selectPolicy(p *Problem, states []*EnergyState, affected []int, i, k, prev int, preferStay bool) int {
-	best, bestGain := 0, -1.0
-	for pol := range p.Gamma[i] {
+// selectPolicy is the sequential reference selection for partition (i,k):
+// it fills gains[pol] with the summed marginal over the affected sample
+// states (in affected order — the canonical reduction order every other
+// execution path reproduces) and reduces with argmaxPolicy.
+func selectPolicy(p *Problem, states []*EnergyState, affected []int, i, k, prev int, preferStay bool, gains []float64) int {
+	nPol := len(p.Gamma[i])
+	for pol := 0; pol < nPol; pol++ {
 		var gain float64
 		for _, s := range affected {
 			gain += states[s].Marginal(i, k, pol)
 		}
-		if gain > bestGain {
-			best, bestGain = pol, gain
-			continue
-		}
-		if preferStay && gain == bestGain && pol == prev && best != prev {
+		gains[pol] = gain
+	}
+	return argmaxPolicy(gains[:nPol], prev, preferStay)
+}
+
+// argmaxPolicy is the single reduction defining the selection's tie
+// semantics for every execution path (sequential, parallel and lazy): the
+// maximum gain wins; on exact float equality the previous slot's policy
+// prev wins when preferStay is set — regardless of where prev sits in the
+// scan order — and otherwise the lowest index wins.
+func argmaxPolicy(gains []float64, prev int, preferStay bool) int {
+	best := 0
+	for pol := 1; pol < len(gains); pol++ {
+		if gains[pol] > gains[best] {
 			best = pol
 		}
+	}
+	if preferStay && prev >= 0 && prev < len(gains) && prev != best && gains[prev] == gains[best] {
+		best = prev
 	}
 	return best
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"haste/internal/geom"
@@ -181,6 +182,80 @@ func TestGlobalGreedyComparableToLocal(t *testing.T) {
 	}
 }
 
+// argmaxPolicy is the single reduction defining the selection's tie
+// semantics for the sequential, parallel and lazy paths. The table pins
+// the rule: maximum gain wins; on exact equality prev wins under
+// preferStay no matter where prev sits in the scan order (the subtlety the
+// old selectPolicy structure made easy to break); otherwise lowest index.
+func TestArgmaxPolicyTieSemantics(t *testing.T) {
+	cases := []struct {
+		name       string
+		gains      []float64
+		prev       int
+		preferStay bool
+		want       int
+	}{
+		{"single policy", []float64{0}, -1, true, 0},
+		{"strict max wins", []float64{1, 3, 2}, 0, true, 1},
+		{"tie goes to lowest index without prev", []float64{2, 2, 1}, -1, true, 0},
+		{"prev wins tie when scanned later", []float64{2, 1, 2}, 2, true, 2},
+		{"prev wins tie when scanned first", []float64{2, 2}, 0, true, 0},
+		{"prev wins tie in the middle", []float64{5, 5, 5}, 1, true, 1},
+		{"prev loses when strictly beaten", []float64{2, 3}, 0, true, 1},
+		{"prev ties runner-up only", []float64{1, 2, 1}, 2, true, 1},
+		{"preferStay off ignores prev", []float64{2, 1, 2}, 2, false, 0},
+		{"all-zero saturation keeps prev", []float64{0, 0, 0, 0}, 3, true, 3},
+		{"all-zero saturation without prev", []float64{0, 0, 0}, -1, true, 0},
+		{"prev out of range is ignored", []float64{1, 1}, 7, true, 0},
+		{"no previous slot", []float64{4, 4}, -1, false, 0},
+	}
+	for _, c := range cases {
+		if got := argmaxPolicy(c.gains, c.prev, c.preferStay); got != c.want {
+			t.Errorf("%s: argmaxPolicy(%v, prev=%d, stay=%v) = %d, want %d",
+				c.name, c.gains, c.prev, c.preferStay, got, c.want)
+		}
+	}
+}
+
+// The full selection must agree with argmaxPolicy's semantics end-to-end:
+// for C = 1 the schedule is exactly the sequence of reference selections,
+// so replaying selectPolicy slot by slot must reproduce every cell — under
+// every execution strategy, ties included.
+func TestSelectPolicyTieRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(58))
+	in := randomFieldInstance(rng, 3, 10, 6, 30)
+	p := mustProblem(t, in)
+	maxPol := 0
+	for _, g := range p.Gamma {
+		if len(g) > maxPol {
+			maxPol = len(g)
+		}
+	}
+	for _, opt := range []Options{
+		{Colors: 1, PreferStay: true, Workers: 1},
+		{Colors: 1, PreferStay: true, Workers: 4},
+		{Colors: 1, PreferStay: true, Workers: 1, Lazy: true},
+	} {
+		res := TabularGreedy(p, opt)
+		es := NewEnergyState(p)
+		gains := make([]float64, maxPol)
+		for k := 0; k < p.K; k++ {
+			for i := range p.Gamma {
+				prev := -1
+				if k > 0 {
+					prev = res.Schedule.Policy[i][k-1]
+				}
+				want := selectPolicy(p, []*EnergyState{es}, []int{0}, i, k, prev, true, gains)
+				if got := res.Schedule.Policy[i][k]; got != want {
+					t.Fatalf("workers=%d lazy=%v: charger %d slot %d chose %d, reference selection %d",
+						opt.Workers, opt.Lazy, i, k, got, want)
+				}
+				es.Apply(i, k, want)
+			}
+		}
+	}
+}
+
 func TestOptionsNormalize(t *testing.T) {
 	o := Options{}.normalize()
 	if o.Colors != 1 || o.Samples != 1 || o.Rng == nil {
@@ -197,5 +272,11 @@ func TestOptionsNormalize(t *testing.T) {
 	o = Options{Colors: 1000}.normalize()
 	if o.Colors != 255 {
 		t.Errorf("Colors not clamped: %d", o.Colors)
+	}
+	if o := (Options{}).normalize(); o.Workers != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers default = %d, want GOMAXPROCS %d", o.Workers, runtime.GOMAXPROCS(0))
+	}
+	if o := (Options{Workers: 3}).normalize(); o.Workers != 3 {
+		t.Errorf("explicit Workers overridden: %d", o.Workers)
 	}
 }

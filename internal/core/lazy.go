@@ -1,0 +1,123 @@
+package core
+
+import "math"
+
+// The lazy execution path of TabularGreedy.
+//
+// Submodularity of the HASTE-R objective (Lemma 4.2) means every per-sample
+// marginal only shrinks as that sample's energy state grows. lazyBounds
+// caches, per Monte-Carlo sample and per (charger, policy), the last
+// computed *optimistic* marginal — the marginal with every covered task
+// treated as active (EnergyState.MarginalUpper). The optimistic value is an
+// upper bound on the true marginal in any slot (a slot only deactivates
+// tasks, never adds energy terms) and it is non-increasing over the run
+// (concavity of U: each per-task utility increment shrinks as energy
+// accumulates, and energies only grow). A cached value from any earlier
+// greedy step therefore still bounds the policy's gain now.
+//
+// A greedy step evaluates the previous slot's policy first (under
+// PreferStay it wins every exact tie, so its gain settles all of them),
+// then walks the remaining policies in decreasing stale-bound order. The
+// walk stops once the best unevaluated bound is strictly below the best
+// exact gain — those policies cannot win — or equals it while the
+// best-positioned candidate would lose the tie anyway under the canonical
+// argmaxPolicy rule (prev wins, then lowest index). Skipped policies can
+// therefore never change the selection: the result is bit-identical to the
+// eager full scan, only the number of marginal evaluations differs
+// (BenchmarkTabularGreedyLazy records the saving — in the saturated tail
+// of a run a step costs one evaluation instead of |Γ_i|).
+type lazyBounds struct {
+	offset    []int     // offset[i]: first slot of charger i's policies
+	perSample int       // total policy count P = Σ_i |Γ_i|
+	bound     []float64 // N·P stale optimistic marginals, +Inf = never computed
+
+	// Per-step scratch, sized to the widest Γ_i.
+	sum       []float64 // summed stale bounds per policy
+	evaluated []bool
+}
+
+func newLazyBounds(p *Problem, samples int) *lazyBounds {
+	lb := &lazyBounds{offset: make([]int, len(p.Gamma))}
+	maxPol := 0
+	for i, g := range p.Gamma {
+		lb.offset[i] = lb.perSample
+		lb.perSample += len(g)
+		if len(g) > maxPol {
+			maxPol = len(g)
+		}
+	}
+	lb.bound = make([]float64, samples*lb.perSample)
+	for idx := range lb.bound {
+		lb.bound[idx] = math.Inf(1)
+	}
+	lb.sum = make([]float64, maxPol)
+	lb.evaluated = make([]bool, maxPol)
+	return lb
+}
+
+func (lb *lazyBounds) selectPolicy(p *Problem, states []*EnergyState, affected []int, i, k, prev int, preferStay bool) int {
+	nPol := len(p.Gamma[i])
+	base := lb.offset[i]
+	for pol := 0; pol < nPol; pol++ {
+		var b float64
+		for _, s := range affected {
+			b += lb.bound[s*lb.perSample+base+pol]
+		}
+		lb.sum[pol] = b
+		lb.evaluated[pol] = false
+	}
+	if prev < 0 || prev >= nPol {
+		prev = -1
+	}
+
+	// best/bestGain track argmaxPolicy over the evaluated subset,
+	// maintained incrementally with the identical tie rule.
+	best, bestGain := -1, math.Inf(-1)
+	eval := func(pol int) {
+		lb.evaluated[pol] = true
+		var gain float64
+		for _, s := range affected {
+			exact, upper := states[s].MarginalUpper(i, k, pol)
+			gain += exact
+			lb.bound[s*lb.perSample+base+pol] = upper
+		}
+		switch {
+		case best < 0 || gain > bestGain:
+			best, bestGain = pol, gain
+		case gain == bestGain:
+			if preferStay && best == prev {
+				// prev keeps every tie
+			} else if (preferStay && pol == prev) || pol < best {
+				best = pol
+			}
+		}
+	}
+
+	if preferStay && prev >= 0 {
+		eval(prev)
+	}
+	for {
+		// Deterministic pick: the unevaluated policy with the largest
+		// stale bound, lowest index on ties.
+		pick := -1
+		for pol := 0; pol < nPol; pol++ {
+			if !lb.evaluated[pol] && (pick < 0 || lb.sum[pol] > lb.sum[pick]) {
+				pick = pol
+			}
+		}
+		if pick < 0 || lb.sum[pick] < bestGain {
+			break // nothing unevaluated can reach the best exact gain
+		}
+		if lb.sum[pick] == bestGain && best >= 0 {
+			// A bound-tied policy can at most tie the best exact gain.
+			// prev is already evaluated (see above), so the only way a
+			// tie changes the winner is through a lower index — and pick
+			// is the lowest-indexed candidate left.
+			if (preferStay && best == prev) || pick > best {
+				break
+			}
+		}
+		eval(pick)
+	}
+	return best
+}

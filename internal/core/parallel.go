@@ -1,0 +1,189 @@
+package core
+
+import "sync"
+
+// The parallel execution path of TabularGreedy. Determinism is a repo
+// invariant (DESIGN.md §3), so the fan-out is organized such that the
+// schedule is bit-identical for every worker count:
+//
+//   - each (sample, policy) marginal is computed by exactly one worker and
+//     written to a private slot of a scratch buffer (no shared accumulator,
+//     no data race);
+//   - the per-policy gains are then reduced single-threadedly in canonical
+//     order — sample-major, following the affected list — which is exactly
+//     the order the sequential reference accumulates in, so not a single
+//     floating-point rounding step can differ;
+//   - per-sample Apply calls touch disjoint EnergyStates and each state's
+//     internal accumulation order is fixed, so the fan-out cannot reorder
+//     additions either.
+//
+// internal/difftest and the -race differential suite enforce all of this.
+
+// workerPool is a fixed set of goroutines fed closures over a channel. It
+// exists so TabularGreedy, which dispatches one small batch per greedy step
+// (n·K·C of them), pays two channel operations per chunk instead of a
+// goroutine spawn.
+type workerPool struct {
+	work chan func()
+	n    int
+}
+
+// newWorkerPool starts n-1 workers (the caller is the n-th).
+func newWorkerPool(n int) *workerPool {
+	wp := &workerPool{work: make(chan func()), n: n}
+	for w := 1; w < n; w++ {
+		go func() {
+			for fn := range wp.work {
+				fn()
+			}
+		}()
+	}
+	return wp
+}
+
+func (wp *workerPool) close() { close(wp.work) }
+
+// runChunks splits [0, total) into at most wp.n contiguous chunks and runs
+// fn on each concurrently, returning when all are done. The chunk
+// boundaries depend only on total and wp.n, never on timing.
+func (wp *workerPool) runChunks(total int, fn func(lo, hi int)) {
+	chunks := wp.n
+	if chunks > total {
+		chunks = total
+	}
+	if chunks <= 1 {
+		fn(0, total)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(chunks - 1)
+	size, rem := total/chunks, total%chunks
+	lo := 0
+	for ch := 0; ch < chunks; ch++ {
+		hi := lo + size
+		if ch < rem {
+			hi++
+		}
+		if ch == chunks-1 {
+			// The caller runs the last chunk itself, then waits.
+			fn(lo, hi)
+			break
+		}
+		clo, chi := lo, hi
+		wp.work <- func() {
+			defer wg.Done()
+			fn(clo, chi)
+		}
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// selector executes the per-partition policy selection and state update of
+// TabularGreedy under the configured strategy (sequential, pooled parallel,
+// or lazy). All strategies produce bit-identical decisions.
+type selector struct {
+	p          *Problem
+	preferStay bool
+	pool       *workerPool // nil ⇒ sequential
+	lazy       *lazyBounds // nil ⇒ eager
+	gains      []float64   // per-policy gains, maxPol wide
+	buf        []float64   // per-(sample, policy) marginals, N·maxPol wide
+}
+
+func newSelector(p *Problem, opt Options) *selector {
+	maxPol := 0
+	for _, g := range p.Gamma {
+		if len(g) > maxPol {
+			maxPol = len(g)
+		}
+	}
+	s := &selector{
+		p:          p,
+		preferStay: opt.PreferStay,
+		gains:      make([]float64, maxPol),
+	}
+	if opt.Lazy {
+		s.lazy = newLazyBounds(p, opt.Samples)
+		return s // lazy selection is inherently sequential; see lazy.go
+	}
+	if opt.Workers > 1 {
+		s.pool = newWorkerPool(opt.Workers)
+		s.buf = make([]float64, opt.Samples*maxPol)
+	}
+	return s
+}
+
+func (s *selector) close() {
+	if s.pool != nil {
+		s.pool.close()
+	}
+}
+
+// parallelThreshold is the minimum number of (sample, policy) marginal
+// evaluations in a greedy step worth fanning out; below it the dispatch
+// overhead dominates. Purely a performance knob — both sides of the
+// threshold compute bit-identical gains.
+const parallelThreshold = 8
+
+func (s *selector) selectPolicy(states []*EnergyState, affected []int, i, k, prev int) int {
+	if s.lazy != nil {
+		return s.lazy.selectPolicy(s.p, states, affected, i, k, prev, s.preferStay)
+	}
+	nPol := len(s.p.Gamma[i])
+	if s.pool == nil || len(affected)*nPol < parallelThreshold {
+		return selectPolicy(s.p, states, affected, i, k, prev, s.preferStay, s.gains)
+	}
+	if len(affected) > 1 {
+		// Fan over samples: worker w computes the full per-policy marginal
+		// row of its slice of the affected samples.
+		s.pool.runChunks(len(affected), func(lo, hi int) {
+			for idx := lo; idx < hi; idx++ {
+				st := states[affected[idx]]
+				row := s.buf[idx*nPol : (idx+1)*nPol]
+				for pol := 0; pol < nPol; pol++ {
+					row[pol] = st.Marginal(i, k, pol)
+				}
+			}
+		})
+		// Fixed-order reduction: per policy, sum rows in affected order —
+		// the exact accumulation sequence of the sequential reference.
+		for pol := 0; pol < nPol; pol++ {
+			var gain float64
+			for idx := range affected {
+				gain += s.buf[idx*nPol+pol]
+			}
+			s.gains[pol] = gain
+		}
+	} else {
+		// One affected sample (the whole C = 1 regime): fan over policies
+		// instead; each gains slot is written by exactly one worker.
+		s.pool.runChunks(nPol, func(lo, hi int) {
+			for pol := lo; pol < hi; pol++ {
+				var gain float64
+				for _, smp := range affected {
+					gain += states[smp].Marginal(i, k, pol)
+				}
+				s.gains[pol] = gain
+			}
+		})
+	}
+	return argmaxPolicy(s.gains[:nPol], prev, s.preferStay)
+}
+
+// apply commits the chosen policy to every affected sample state. States
+// are disjoint, so the fan-out is race-free and each state's accumulation
+// order is unchanged.
+func (s *selector) apply(states []*EnergyState, affected []int, i, k, pol int) {
+	if s.pool == nil || len(affected) < 2 {
+		for _, smp := range affected {
+			states[smp].Apply(i, k, pol)
+		}
+		return
+	}
+	s.pool.runChunks(len(affected), func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			states[affected[idx]].Apply(i, k, pol)
+		}
+	})
+}

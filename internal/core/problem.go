@@ -158,6 +158,29 @@ func (es *EnergyState) Marginal(i, k, pol int) float64 {
 	return gain
 }
 
+// MarginalUpper returns Marginal(i, k, pol) together with an optimistic
+// variant that treats every covered task as active. The exact part is
+// accumulated over the same tasks in the same order as Marginal, so the
+// two agree bit-for-bit. The optimistic part upper-bounds the policy's
+// marginal in any slot and only shrinks as energy accumulates (concavity
+// of U) — the invariant the lazy selector's stale bounds rely on.
+func (es *EnergyState) MarginalUpper(i, k, pol int) (gain, upper float64) {
+	u := es.p.In.U()
+	for _, j := range es.p.Gamma[i][pol].Covers {
+		t := &es.p.In.Tasks[j]
+		de := es.p.slotEnergy[i][j]
+		if de == 0 {
+			continue
+		}
+		d := t.Weight * (u.Of(es.energy[j]+de, t.Energy) - u.Of(es.energy[j], t.Energy))
+		upper += d
+		if t.ActiveAt(k) {
+			gain += d
+		}
+	}
+	return gain, upper
+}
+
 // MarginalScaled is Marginal with the per-slot energy contribution scaled
 // by frac ∈ [0,1]; used by the switching-delay-aware simulation where a
 // rotating charger only radiates for the trailing 1−ρ of a slot.

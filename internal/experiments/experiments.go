@@ -36,6 +36,18 @@ type Options struct {
 	// horizons) so the whole suite runs in seconds. Used by tests and
 	// smoke runs; the series shapes remain, absolute values differ.
 	Quick bool
+	// Workers bounds TabularGreedy's worker pool (core.Options.Workers):
+	// 0 = one worker per CPU, 1 = sequential. Any value produces the
+	// same figures bit-for-bit; only wall-clock time changes.
+	Workers int
+}
+
+// haste returns the TabularGreedy options for the given color count with
+// the run's Workers bound applied.
+func (o Options) haste(colors int) core.Options {
+	opt := core.DefaultOptions(colors)
+	opt.Workers = o.Workers
+	return opt
 }
 
 func (o Options) normalize() Options {
@@ -139,17 +151,17 @@ func (a *utilities4) scale(f float64) {
 // offlineUtilities runs HASTE (C=1 and C=4), GreedyUtility and
 // GreedyCover in the offline scenario and simulates the schedules with
 // switching delay.
-func offlineUtilities(in *model.Instance, seed int64, samples int) (utilities4, error) {
+func offlineUtilities(in *model.Instance, o Options, seed int64) (utilities4, error) {
 	p, err := core.NewProblem(in)
 	if err != nil {
 		return utilities4{}, err
 	}
 	var u utilities4
-	r1 := core.TabularGreedy(p, core.DefaultOptions(1))
+	r1 := core.TabularGreedy(p, o.haste(1))
 	u.h1 = sim.Execute(p, r1.Schedule).Utility
 	r4 := core.TabularGreedy(p, core.Options{
-		Colors: 4, Samples: samples, PreferStay: true,
-		Rng: rand.New(rand.NewSource(seed)),
+		Colors: 4, Samples: o.Samples, PreferStay: true,
+		Rng: rand.New(rand.NewSource(seed)), Workers: o.Workers,
 	})
 	u.h4 = sim.Execute(p, r4.Schedule).Utility
 	u.gu = sim.Execute(p, baseline.GreedyUtility(p)).Utility
@@ -159,11 +171,12 @@ func offlineUtilities(in *model.Instance, seed int64, samples int) (utilities4, 
 
 // onlineUtilities runs the distributed online HASTE (C=1 and C=4) and the
 // online baselines.
-func onlineUtilities(in *model.Instance, seed int64, samples int) (utilities4, error) {
+func onlineUtilities(in *model.Instance, o Options, seed int64) (utilities4, error) {
 	p, err := core.NewProblem(in)
 	if err != nil {
 		return utilities4{}, err
 	}
+	samples := o.Samples
 	if samples == 0 {
 		// The distributed C = 4 run re-evaluates marginals per Monte-Carlo
 		// sample on every negotiation round; 2·C samples keeps full-scale
@@ -181,7 +194,7 @@ func onlineUtilities(in *model.Instance, seed int64, samples int) (utilities4, e
 // sweep4 runs one of the two scenario runners over a sequence of workload
 // mutations and averages the four algorithms per point.
 func sweep4(o Options, labels []string, mutate func(point int, cfg *workload.Config),
-	runner func(in *model.Instance, seed int64, samples int) (utilities4, error),
+	runner func(in *model.Instance, o Options, seed int64) (utilities4, error),
 	tbl *report.Table, xName string) error {
 	for point, label := range labels {
 		var avg utilities4
@@ -189,7 +202,7 @@ func sweep4(o Options, labels []string, mutate func(point int, cfg *workload.Con
 			cfg := o.baseConfig()
 			mutate(point, &cfg)
 			in := cfg.Generate(rand.New(rand.NewSource(o.crnSeed(rep))))
-			u, err := runner(in, o.repSeed(point, rep), o.Samples)
+			u, err := runner(in, o, o.repSeed(point, rep))
 			if err != nil {
 				return fmt.Errorf("%s=%s rep %d: %w", xName, label, rep, err)
 			}

@@ -34,7 +34,7 @@ func extEMR(o Options) (*report.Table, error) {
 			return nil, err
 		}
 		grid := emr.Grid(cfg.FieldSide, 2.5)
-		free := core.TabularGreedy(p, core.DefaultOptions(1))
+		free := core.TabularGreedy(p, o.haste(1))
 		audit := emr.Field{Points: grid, Gamma: 1, Limit: math.Inf(1)}
 		peak, _ := audit.Audit(p, free.Schedule)
 		freeU += free.RUtility
@@ -72,7 +72,7 @@ func extAniso(o Options) (*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			h := sim.Execute(p, core.TabularGreedy(p, core.DefaultOptions(1)).Schedule).Utility
+			h := sim.Execute(p, core.TabularGreedy(p, o.haste(1)).Schedule).Utility
 			g := utilityOfBaseline(p)
 			if aniso {
 				anisoH += h
@@ -107,7 +107,7 @@ func extSwitch(o Options) (*report.Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				res := core.TabularGreedy(p, core.DefaultOptions(1))
+				res := core.TabularGreedy(p, o.haste(1))
 				out := sim.Execute(p, res.Schedule)
 				// Slots of radiation lost to switching, measured as the
 				// gap between relaxed and physical per-task energy.

@@ -92,7 +92,7 @@ func colorBoxPlot(o Options, title string, onlineMode bool) (*report.Table, erro
 			} else {
 				res := core.TabularGreedy(p, core.Options{
 					Colors: c, Samples: samples, PreferStay: true,
-					Rng: rand.New(rand.NewSource(seed)),
+					Rng: rand.New(rand.NewSource(seed)), Workers: o.Workers,
 				})
 				u = sim.Execute(p, res.Schedule).Utility
 			}
@@ -140,7 +140,7 @@ func energyDurationGrid(o Options, title string, onlineMode bool) (*report.Table
 				if onlineMode {
 					sum += onlineRunUtility(p, 1, 1, seed)
 				} else {
-					res := core.TabularGreedy(p, core.DefaultOptions(1))
+					res := core.TabularGreedy(p, o.haste(1))
 					sum += sim.Execute(p, res.Schedule).Utility
 				}
 			}
@@ -179,7 +179,7 @@ func fig17(o Options) (*report.Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				res := core.TabularGreedy(p, core.DefaultOptions(1))
+				res := core.TabularGreedy(p, o.haste(1))
 				sum += sim.Execute(p, res.Schedule).Utility
 			}
 			tbl.AddRow(sx, sy, sum/float64(o.Reps))
@@ -215,7 +215,7 @@ func fig18(o Options) (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := core.TabularGreedy(p, core.DefaultOptions(1))
+		res := core.TabularGreedy(p, o.haste(1))
 		out := sim.Execute(p, res.Schedule)
 		for b := range repMax {
 			repMax[b] = 0

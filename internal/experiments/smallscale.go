@@ -51,11 +51,11 @@ func smallScaleSweep(o Options, title, xName string, sweepAs bool) (*report.Tabl
 			}
 			valid++
 			optSum += sol.Utility
-			r1 := core.TabularGreedy(p, core.DefaultOptions(1))
+			r1 := core.TabularGreedy(p, o.haste(1))
 			h1Sum += sim.Execute(p, r1.Schedule).Utility
 			r4 := core.TabularGreedy(p, core.Options{
 				Colors: 4, Samples: o.Samples, PreferStay: true,
-				Rng: rand.New(rand.NewSource(seed)),
+				Rng: rand.New(rand.NewSource(seed)), Workers: o.Workers,
 			})
 			h4Sum += sim.Execute(p, r4.Schedule).Utility
 			doSum += online.Run(p, online.Options{Colors: 1, Seed: seed}).Outcome.Utility

@@ -1,0 +1,83 @@
+package netsim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomTopology draws a connected symmetric topology: a random spanning
+// chain plus extra random edges.
+func randomTopology(rng *rand.Rand, n int) [][]int {
+	nb := make([]map[int]bool, n)
+	for i := range nb {
+		nb[i] = map[int]bool{}
+	}
+	perm := rng.Perm(n)
+	for idx := 1; idx < n; idx++ {
+		a, b := perm[idx-1], perm[idx]
+		nb[a][b] = true
+		nb[b][a] = true
+	}
+	for e := 0; e < n; e++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			nb[a][b] = true
+			nb[b][a] = true
+		}
+	}
+	out := make([][]int, n)
+	for i, m := range nb {
+		for j := 0; j < n; j++ { // fixed order, no map iteration
+			if m[j] {
+				out[i] = append(out[i], j)
+			}
+		}
+	}
+	return out
+}
+
+// TestDriverEquivalenceSeededTopologies pins the engine's determinism
+// contract on richer inputs than the line graph: on seeded random
+// topologies the goroutine-per-node driver and the sequential driver must
+// deliver identical node outcomes and identical message/round accounting.
+// CI runs this under the race detector, where the parallel driver's
+// barrier discipline is actually checked.
+func TestDriverEquivalenceSeededTopologies(t *testing.T) {
+	for _, seed := range []int64{201, 202, 203} {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(8)
+		topo := randomTopology(rng, n)
+		if err := ValidateTopology(topo); err != nil {
+			t.Fatalf("seed %d: generated invalid topology: %v", seed, err)
+		}
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = rng.Intn(1000)
+		}
+		run := func(parallel bool) ([]int, Stats) {
+			nodes := make([]Node, n)
+			for i := 0; i < n; i++ {
+				nodes[i] = &maxNode{val: vals[i]}
+			}
+			e := &Engine{Neighbors: topo, Opt: Options{Parallel: parallel}}
+			stats, err := e.Run(nodes)
+			if err != nil {
+				t.Fatalf("seed %d parallel=%v: %v", seed, parallel, err)
+			}
+			out := make([]int, n)
+			for i, nd := range nodes {
+				out[i] = nd.(*maxNode).best
+			}
+			return out, stats
+		}
+		seqVals, seqStats := run(false)
+		parVals, parStats := run(true)
+		if !reflect.DeepEqual(seqVals, parVals) {
+			t.Errorf("seed %d: node outcomes diverge: %v vs %v", seed, seqVals, parVals)
+		}
+		if seqStats != parStats {
+			t.Errorf("seed %d: stats diverge: %+v vs %+v", seed, seqStats, parStats)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package online
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"haste/internal/core"
+	"haste/internal/workload"
+)
+
+// TestDriverEquivalenceSeededTopologies is the netsim driver-equivalence
+// check at the full protocol level: on three seeded topologies the
+// goroutine-per-charger negotiation and the sequential one must produce
+// identical schedules (orientation timelines), message counts and round
+// counts. CI runs this suite under the race detector — the whole point is
+// catching an unsynchronized write in the parallel driver or the agents.
+func TestDriverEquivalenceSeededTopologies(t *testing.T) {
+	for _, seed := range []int64{301, 302, 303} {
+		cfg := workload.SmallScale()
+		cfg.NumChargers = 7
+		cfg.NumTasks = 14
+		cfg.FieldSide = 14
+		cfg.ReleaseMax = 3
+		cfg.DurationMin, cfg.DurationMax = 2, 5
+		in := cfg.Generate(rand.New(rand.NewSource(seed)))
+		p, err := core.NewProblem(in)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		seq := Run(p, Options{Seed: seed})
+		par := Run(p, Options{Seed: seed, Parallel: true})
+
+		for i := range seq.Orientations {
+			for k := range seq.Orientations[i] {
+				sv, pv := seq.Orientations[i][k], par.Orientations[i][k]
+				if math.IsNaN(sv) != math.IsNaN(pv) || (!math.IsNaN(sv) && sv != pv) {
+					t.Fatalf("seed %d: schedule diverges at charger %d slot %d: %v vs %v",
+						seed, i, k, sv, pv)
+				}
+			}
+		}
+		if seq.Outcome.Utility != par.Outcome.Utility {
+			t.Errorf("seed %d: utility diverges: %v vs %v", seed, seq.Outcome.Utility, par.Outcome.Utility)
+		}
+		if s, p := seq.Stats.TotalMessages(), par.Stats.TotalMessages(); s != p {
+			t.Errorf("seed %d: message counts diverge: %d vs %d", seed, s, p)
+		}
+		if s, p := seq.Stats.TotalRounds(), par.Stats.TotalRounds(); s != p {
+			t.Errorf("seed %d: round counts diverge: %d vs %d", seed, s, p)
+		}
+		if seq.Stats.Net != par.Stats.Net {
+			t.Errorf("seed %d: network totals diverge: %+v vs %+v", seed, seq.Stats.Net, par.Stats.Net)
+		}
+	}
+}

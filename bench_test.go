@@ -2,7 +2,7 @@
 // the corresponding experiment series at smoke scale — run
 // `go run ./cmd/haste run --fig figNN --reps 100` for paper-fidelity
 // numbers), plus micro-benchmarks of the algorithmic kernels and the
-// ablation benches called out in DESIGN.md §5.
+// ablation benches called out in DESIGN.md §6.
 package haste_test
 
 import (
@@ -105,14 +105,29 @@ func BenchmarkNewProblem(b *testing.B) {
 	}
 }
 
+// BenchmarkMarginalEvaluation measures one Marginal call on the §7.1-scale
+// instance — the innermost operation of every scheduler. The flat
+// sub-bench runs the compiled kernel (the production path), generic the
+// interface-dispatch fallback the kernel replaced; both must be 0 allocs/op
+// (internal/core's TestMarginalPathsAllocationFree pins the flat path).
 func BenchmarkMarginalEvaluation(b *testing.B) {
-	p := paperScaleProblem(b)
-	es := core.NewEnergyState(p)
-	n := len(p.In.Chargers)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		ch := i % n
-		es.Marginal(ch, i%p.K, i%len(p.Gamma[ch]))
+	for _, cfg := range []struct {
+		name string
+		flat bool
+	}{{"flat", true}, {"generic", false}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			p := paperScaleProblem(b)
+			p.SetFlatKernel(cfg.flat)
+			defer p.SetFlatKernel(true)
+			es := core.NewEnergyState(p)
+			n := len(p.In.Chargers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ch := i % n
+				es.Marginal(ch, i%p.K, i%len(p.Gamma[ch]))
+			}
+		})
 	}
 }
 
@@ -148,10 +163,42 @@ func BenchmarkTabularGreedyWorkers(b *testing.B) {
 		{"C1/W1", 1, 1}, {"C1/W4", 1, 4},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				core.TabularGreedy(p, core.Options{
 					Colors: cfg.colors, PreferStay: true, Workers: cfg.workers,
 				})
+			}
+		})
+	}
+}
+
+// BenchmarkTabularGreedyKernel compares the compiled flat kernel against
+// the generic interface-dispatch fallback on the full Fig. 7 greedy run
+// (C = 4, §7.1 defaults) — the end-to-end view of what the kernel buys.
+// The stats sub-bench runs the flat kernel with Options.KernelStats and
+// reports the saturation-pruning skip ratio as a custom metric
+// (skipped evaluations / offered evaluations; see core.KernelStats).
+func BenchmarkTabularGreedyKernel(b *testing.B) {
+	p := paperScaleProblem(b)
+	for _, cfg := range []struct {
+		name  string
+		flat  bool
+		stats bool
+	}{{"flat", true, false}, {"generic", false, false}, {"stats", true, true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			p.SetFlatKernel(cfg.flat)
+			defer p.SetFlatKernel(true)
+			b.ReportAllocs()
+			var last core.KernelStats
+			for i := 0; i < b.N; i++ {
+				res := core.TabularGreedy(p, core.Options{
+					Colors: 4, PreferStay: true, Workers: 1, KernelStats: cfg.stats,
+				})
+				last = res.Kernel
+			}
+			if cfg.stats && last.Offered > 0 {
+				b.ReportMetric(float64(last.Skipped())/float64(last.Offered), "skipped/offered")
 			}
 		})
 	}
@@ -212,7 +259,7 @@ func BenchmarkOptSolveSmallScale(b *testing.B) {
 	}
 }
 
-// --- ablations (DESIGN.md §5) ----------------------------------------------
+// --- ablations (DESIGN.md §6) ----------------------------------------------
 
 // BenchmarkAblationColors measures the cost of the TabularGreedy control
 // parameter C (quality numbers are in EXPERIMENTS.md; here: time/allocs).

@@ -22,6 +22,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"haste/internal/experiments"
@@ -75,8 +77,35 @@ func runCmd(args []string) error {
 	outDir := fs.String("out", "", "write each experiment to <dir>/<id>.<ext> instead of stdout")
 	quick := fs.Bool("quick", false, "shrink workloads for a fast smoke run")
 	summary := fs.Bool("summary", false, "append the paper-style headline claims under each table")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("--cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("--cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "haste: --memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "haste: --memprofile:", err)
+			}
+		}()
 	}
 	opts := experiments.Options{Reps: *reps, Seed: *seed, Samples: *samples, Quick: *quick, Workers: *workers}
 	fmtName := *format
@@ -173,5 +202,8 @@ flags for run:
   --out DIR       write each experiment to DIR/<id>.<ext>
   --summary       append the paper-style headline claims
   --csv           shorthand for --format csv
-  --quick         shrink workloads for a fast smoke run`)
+  --quick         shrink workloads for a fast smoke run
+  --cpuprofile F  write a pprof CPU profile of the run to F
+  --memprofile F  write a pprof heap profile at exit to F
+                  (inspect either with "go tool pprof F")`)
 }

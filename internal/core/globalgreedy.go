@@ -23,7 +23,8 @@ func GlobalGreedy(p *Problem, lazy bool) Result {
 	if n == 0 || K == 0 {
 		return Result{Schedule: sched}
 	}
-	es := NewEnergyState(p)
+	es := p.AcquireState()
+	defer p.ReleaseState(es)
 	if lazy {
 		globalGreedyLazy(p, es, &sched)
 	} else {

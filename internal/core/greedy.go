@@ -46,7 +46,36 @@ type Options struct {
 	// reach the running best gain. Schedules are bit-identical to the
 	// eager path; only the number of marginal evaluations changes.
 	Lazy bool
+
+	// ParallelThreshold is the minimum per-step work — affected samples ×
+	// policies of the partition's charger — worth fanning out to the
+	// worker pool; steps below it run the sequential scan, and if even
+	// Samples × maxPol (the largest possible step) falls short the pool
+	// is never started. Dispatching a step costs two channel operations
+	// per chunk plus a goroutine wake-up, so small batches run faster
+	// sequentially no matter how many cores are idle — BENCH_core.json
+	// records Workers=4 losing 1.4–3× to Workers=1 on paper-scale
+	// instances at the old always-fan behavior. 0 selects
+	// DefaultParallelThreshold. Purely a performance knob: both sides of
+	// the cutoff compute bit-identical gains.
+	ParallelThreshold int
+
+	// KernelStats collects evaluation-kernel work counters (calls, cover
+	// entries visited, entries skipped by windows and saturation pruning)
+	// into Result.Kernel. Requires the sequential path (Workers == 1):
+	// the counters live on the per-sample states and the parallel
+	// policy-fan would race on them, so runs with Workers > 1 ignore the
+	// flag. Instrumented runs take the per-state scan instead of the
+	// batched one — same results, slightly slower, exact counts.
+	KernelStats bool
 }
+
+// DefaultParallelThreshold is the Options.ParallelThreshold used when the
+// caller leaves it zero. Measured on the paper-scale workload (sec. 7.1
+// defaults): below roughly this many (sample, policy) marginals per step,
+// pool dispatch overhead exceeds the scan work itself even with all
+// workers idle.
+const DefaultParallelThreshold = 512
 
 // DefaultOptions returns the options used by the paper's experiments for
 // a given color count.
@@ -74,6 +103,12 @@ func (o Options) normalize() Options {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	if o.ParallelThreshold <= 0 {
+		o.ParallelThreshold = DefaultParallelThreshold
+	}
+	if o.Workers > 1 {
+		o.KernelStats = false // counters would race under the policy fan
+	}
 	return o
 }
 
@@ -81,6 +116,10 @@ func (o Options) normalize() Options {
 type Result struct {
 	Schedule Schedule
 	RUtility float64 // HASTE-R objective f(X) of the schedule
+
+	// Kernel aggregates the evaluation kernel's work counters over all
+	// sample states when Options.KernelStats was set (zero otherwise).
+	Kernel KernelStats
 }
 
 // TabularGreedy is Algorithm 2, the centralized offline algorithm for
@@ -104,20 +143,30 @@ func TabularGreedy(p *Problem, opt Options) Result {
 		return Result{Schedule: sched}
 	}
 
-	// colorOf[s][i*K+k]: the color each sample assigns to partition (i,k).
-	colorOf := make([][]uint8, N)
-	for s := range colorOf {
-		v := make([]uint8, n*K)
-		for idx := range v {
-			v[idx] = uint8(opt.Rng.Intn(C))
+	// colorOf[(i*K+k)*N+s]: the color sample s assigns to partition (i,k),
+	// stored partition-major so the per-step affected scan reads N
+	// consecutive bytes instead of striding across N sample vectors. The
+	// draws stay sample-major — the exact RNG consumption order of the
+	// original layout, so schedules are unchanged.
+	colorOf := make([]uint8, N*n*K)
+	for s := 0; s < N; s++ {
+		for idx := 0; idx < n*K; idx++ {
+			colorOf[idx*N+s] = uint8(opt.Rng.Intn(C))
 		}
-		colorOf[s] = v
 	}
 
 	states := make([]*EnergyState, N)
 	for s := range states {
-		states[s] = NewEnergyState(p)
+		states[s] = p.AcquireState()
+		if opt.KernelStats {
+			states[s].EnableKernelStats()
+		}
 	}
+	defer func() {
+		for _, st := range states {
+			p.ReleaseState(st)
+		}
+	}()
 
 	// q[i][k*C+c]: the S-C tuple table Q — the policy assigned to
 	// partition (i,k) in color round c.
@@ -138,8 +187,9 @@ func TabularGreedy(p *Problem, opt Options) Result {
 		for k := 0; k < K; k++ {
 			for i := 0; i < n; i++ {
 				affected = affected[:0]
-				for s := 0; s < N; s++ {
-					if int(colorOf[s][i*K+k]) == c {
+				cc := uint8(c)
+				for s, col := range colorOf[(i*K+k)*N : (i*K+k+1)*N] {
+					if col == cc {
 						affected = append(affected, s)
 					}
 				}
@@ -161,7 +211,13 @@ func TabularGreedy(p *Problem, opt Options) Result {
 			sched.Policy[i][k] = int(q[i][k*C+c])
 		}
 	}
-	return Result{Schedule: sched, RUtility: Evaluate(p, sched)}
+	res := Result{Schedule: sched, RUtility: Evaluate(p, sched)}
+	if opt.KernelStats {
+		for _, st := range states {
+			res.Kernel.add(st.KernelStats())
+		}
+	}
+	return res
 }
 
 // selectPolicy is the sequential reference selection for partition (i,k):

@@ -85,10 +85,13 @@ func (wp *workerPool) runChunks(total int, fn func(lo, hi int)) {
 type selector struct {
 	p          *Problem
 	preferStay bool
+	stats      bool        // kernel stats collection on ⇒ instrumented per-state path
+	threshold  int         // min (samples × policies) per step worth fanning out
 	pool       *workerPool // nil ⇒ sequential
 	lazy       *lazyBounds // nil ⇒ eager
 	gains      []float64   // per-policy gains, maxPol wide
 	buf        []float64   // per-(sample, policy) marginals, N·maxPol wide
+	acc        []float64   // per-sample accumulators of the batched scan, N wide
 }
 
 func newSelector(p *Problem, opt Options) *selector {
@@ -101,13 +104,20 @@ func newSelector(p *Problem, opt Options) *selector {
 	s := &selector{
 		p:          p,
 		preferStay: opt.PreferStay,
+		stats:      opt.KernelStats,
+		threshold:  opt.ParallelThreshold,
 		gains:      make([]float64, maxPol),
+		acc:        make([]float64, opt.Samples),
 	}
 	if opt.Lazy {
 		s.lazy = newLazyBounds(p, opt.Samples)
 		return s // lazy selection is inherently sequential; see lazy.go
 	}
-	if opt.Workers > 1 {
+	// Don't even start the pool when no step can clear the work threshold:
+	// Samples × maxPol bounds the largest per-step batch, so below the
+	// cutoff every step would take the sequential branch anyway and the
+	// pool would be pure goroutine overhead.
+	if opt.Workers > 1 && opt.Samples*maxPol >= s.threshold {
 		s.pool = newWorkerPool(opt.Workers)
 		s.buf = make([]float64, opt.Samples*maxPol)
 	}
@@ -120,18 +130,20 @@ func (s *selector) close() {
 	}
 }
 
-// parallelThreshold is the minimum number of (sample, policy) marginal
-// evaluations in a greedy step worth fanning out; below it the dispatch
-// overhead dominates. Purely a performance knob — both sides of the
-// threshold compute bit-identical gains.
-const parallelThreshold = 8
-
 func (s *selector) selectPolicy(states []*EnergyState, affected []int, i, k, prev int) int {
 	if s.lazy != nil {
 		return s.lazy.selectPolicy(s.p, states, affected, i, k, prev, s.preferStay)
 	}
 	nPol := len(s.p.Gamma[i])
-	if s.pool == nil || len(affected)*nPol < parallelThreshold {
+	if s.pool == nil || len(affected)*nPol < s.threshold {
+		// Sequential scan. With the flat kernel the whole step runs
+		// through the entry-major batched loop; the per-state reference
+		// path remains for custom utilities and for instrumented runs
+		// (KernelStats counts per-state work there).
+		if s.p.kern.linear && !s.stats && len(affected) > 1 {
+			gainsBatchFlat(s.p, states, affected, i, k, nPol, s.gains, s.acc)
+			return argmaxPolicy(s.gains[:nPol], prev, s.preferStay)
+		}
 		return selectPolicy(s.p, states, affected, i, k, prev, s.preferStay, s.gains)
 	}
 	if len(affected) > 1 {
@@ -176,6 +188,10 @@ func (s *selector) selectPolicy(states []*EnergyState, affected []int, i, k, pre
 // order is unchanged.
 func (s *selector) apply(states []*EnergyState, affected []int, i, k, pol int) {
 	if s.pool == nil || len(affected) < 2 {
+		if s.p.kern.linear && len(affected) > 1 {
+			applyBatchFlat(s.p, states, affected, i, k, pol, s.acc)
+			return
+		}
 		for _, smp := range affected {
 			states[smp].Apply(i, k, pol)
 		}

@@ -14,6 +14,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"haste/internal/dominant"
 	"haste/internal/model"
@@ -30,6 +31,13 @@ type Problem struct {
 	// slotEnergy[i][j] = P_r(s_i, o_j)·T_s: energy task j harvests during
 	// one full slot in which charger i covers it. Zero if not chargeable.
 	slotEnergy [][]float64
+
+	// kern is the flat evaluation kernel (kernel.go): compiled cover
+	// lists, SoA task data and slot windows the hot marginal loops run on.
+	kern kernel
+
+	// statePool recycles EnergyStates between runs; see AcquireState.
+	statePool sync.Pool
 }
 
 // NewProblem validates the instance, extracts the dominant task sets of
@@ -57,6 +65,7 @@ func NewProblem(in *model.Instance) (*Problem, error) {
 		}
 		p.slotEnergy[i] = row
 	}
+	p.kern = compileKernel(p)
 	return p, nil
 }
 
@@ -112,24 +121,78 @@ type EnergyState struct {
 	p      *Problem
 	energy []float64 // joules harvested per task
 	total  float64   // Σ_j w_j · U(energy_j)
+
+	// uval[j] caches U(energy_j) for the flat kernel, maintained at
+	// apply/restore time with exactly the reference branches of
+	// model.LinearBounded.Of — so the hot marginal loops pay one division
+	// per scanned entry (for U(e+Δe)) instead of two. U(0) = 0 is the
+	// zero value, so a fresh or Reset state is already consistent.
+
+	// Saturation pruning (flat kernel only, kernel.go). live[fp] is the
+	// copy-on-write scan list of flat policy fp with saturated tasks
+	// removed; nil row ⇒ no contained task has saturated, scan the shared
+	// compiled list. satur[j] records whether task j is currently pruned.
+	uval  []float64
+	live  [][]CoverEntry
+	satur []bool
+
+	// stats, when non-nil, counts the flat kernel's work (opt-in; see
+	// EnableKernelStats).
+	stats *KernelStats
 }
 
 // NewEnergyState returns the empty state (f(∅) = 0).
 func NewEnergyState(p *Problem) *EnergyState {
-	return &EnergyState{p: p, energy: make([]float64, len(p.In.Tasks))}
+	m := len(p.In.Tasks)
+	return &EnergyState{p: p, energy: make([]float64, m), uval: make([]float64, m)}
 }
 
-// Reset clears accumulated energy, reusing the allocation.
+// Reset clears accumulated energy, reusing the allocations.
 func (es *EnergyState) Reset() {
 	for j := range es.energy {
 		es.energy[j] = 0
 	}
+	for j := range es.uval {
+		es.uval[j] = 0
+	}
 	es.total = 0
+	for fp := range es.live {
+		es.live[fp] = nil
+	}
+	for j := range es.satur {
+		es.satur[j] = false
+	}
 }
 
 // Clone deep-copies the state.
 func (es *EnergyState) Clone() *EnergyState {
-	return &EnergyState{p: es.p, energy: append([]float64(nil), es.energy...), total: es.total}
+	c := NewEnergyState(es.p)
+	c.CopyFrom(es)
+	return c
+}
+
+// CopyFrom makes es an exact copy of src (same Problem) without
+// allocating the energy vector anew. The pruning structures are rebuilt
+// from src's saturated set; because pruned lists are order-preserving
+// filtrations of the shared compiled lists, the rebuild is equal to src's
+// lists element for element.
+func (es *EnergyState) CopyFrom(src *EnergyState) {
+	copy(es.energy, src.energy)
+	copy(es.uval, src.uval)
+	es.total = src.total
+	for fp := range es.live {
+		es.live[fp] = nil
+	}
+	for j := range es.satur {
+		es.satur[j] = false
+	}
+	if src.satur != nil {
+		for j, sat := range src.satur {
+			if sat {
+				es.saturate(int32(j))
+			}
+		}
+	}
 }
 
 // Total returns the current objective value Σ_j w_j·U(e_j).
@@ -141,7 +204,21 @@ func (es *EnergyState) Energy(j int) float64 { return es.energy[j] }
 // Marginal returns the objective increase of assigning policy pol to
 // charger i at slot k on top of the current state: only tasks covered by
 // the policy AND active during slot k accrue energy.
+//
+// Marginal, MarginalUpper, MarginalScaled and ApplyScaled dispatch to the
+// flat kernel (kernel.go) when the instance uses the default
+// linear-and-bounded utility; the *Generic bodies below are the reference
+// semantics, kept verbatim as the fallback for custom utilities and as
+// the oracle of the differential kernel sweep. Both paths are
+// bit-identical by contract.
 func (es *EnergyState) Marginal(i, k, pol int) float64 {
+	if es.p.kern.linear {
+		return es.marginalFlat(i, k, pol, 1, false)
+	}
+	return es.marginalGeneric(i, k, pol)
+}
+
+func (es *EnergyState) marginalGeneric(i, k, pol int) float64 {
 	u := es.p.In.U()
 	var gain float64
 	for _, j := range es.p.Gamma[i][pol].Covers {
@@ -165,6 +242,13 @@ func (es *EnergyState) Marginal(i, k, pol int) float64 {
 // marginal in any slot and only shrinks as energy accumulates (concavity
 // of U) — the invariant the lazy selector's stale bounds rely on.
 func (es *EnergyState) MarginalUpper(i, k, pol int) (gain, upper float64) {
+	if es.p.kern.linear {
+		return es.marginalUpperFlat(i, k, pol)
+	}
+	return es.marginalUpperGeneric(i, k, pol)
+}
+
+func (es *EnergyState) marginalUpperGeneric(i, k, pol int) (gain, upper float64) {
 	u := es.p.In.U()
 	for _, j := range es.p.Gamma[i][pol].Covers {
 		t := &es.p.In.Tasks[j]
@@ -185,6 +269,13 @@ func (es *EnergyState) MarginalUpper(i, k, pol int) (gain, upper float64) {
 // by frac ∈ [0,1]; used by the switching-delay-aware simulation where a
 // rotating charger only radiates for the trailing 1−ρ of a slot.
 func (es *EnergyState) MarginalScaled(i, k, pol int, frac float64) float64 {
+	if es.p.kern.linear {
+		return es.marginalFlat(i, k, pol, frac, true)
+	}
+	return es.marginalScaledGeneric(i, k, pol, frac)
+}
+
+func (es *EnergyState) marginalScaledGeneric(i, k, pol int, frac float64) float64 {
 	u := es.p.In.U()
 	var gain float64
 	for _, j := range es.p.Gamma[i][pol].Covers {
@@ -209,6 +300,13 @@ func (es *EnergyState) Apply(i, k, pol int) float64 {
 
 // ApplyScaled commits the policy with its per-slot energy scaled by frac.
 func (es *EnergyState) ApplyScaled(i, k, pol int, frac float64) float64 {
+	if es.p.kern.linear {
+		return es.applyScaledFlat(i, k, pol, frac)
+	}
+	return es.applyScaledGeneric(i, k, pol, frac)
+}
+
+func (es *EnergyState) applyScaledGeneric(i, k, pol int, frac float64) float64 {
 	u := es.p.In.U()
 	var gain float64
 	for _, j := range es.p.Gamma[i][pol].Covers {
@@ -236,13 +334,18 @@ func (es *EnergyState) Restore(ids []int, vals []float64, total float64) {
 		es.energy[j] = vals[idx]
 	}
 	es.total = total
+	// A rewind can pull a task back below its requirement (or, on an
+	// upward restore, past it) — re-establish the saturation-pruning
+	// invariant for exactly the touched tasks.
+	es.resyncSaturation(ids)
 }
 
 // Evaluate computes the HASTE-R objective f(X) of a schedule: the total
 // weighted utility with every assigned slot counted in full (no switching
 // delay).
 func Evaluate(p *Problem, s Schedule) float64 {
-	es := NewEnergyState(p)
+	es := p.AcquireState()
+	defer p.ReleaseState(es)
 	for i, row := range s.Policy {
 		for k, pol := range row {
 			if pol >= 0 {
@@ -256,7 +359,8 @@ func Evaluate(p *Problem, s Schedule) float64 {
 // PerTaskEnergies returns each task's harvested energy under the schedule
 // (HASTE-R accounting, no switching delay).
 func PerTaskEnergies(p *Problem, s Schedule) []float64 {
-	es := NewEnergyState(p)
+	es := p.AcquireState()
+	defer p.ReleaseState(es)
 	for i, row := range s.Policy {
 		for k, pol := range row {
 			if pol >= 0 {

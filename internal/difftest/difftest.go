@@ -54,9 +54,13 @@ func (c Case) Problem() (*core.Problem, error) {
 
 // Options assembles the case's scheduler options for one variant. Each run
 // gets a fresh deterministic Rng from the case seed so color sampling is
-// identical across variants.
+// identical across variants. ParallelThreshold is forced to 1 so that any
+// Workers > 1 run actually exercises the pooled fan-out — the sweep's
+// cases are far below the production cutoff, which would otherwise gate
+// every step onto the sequential path and silently stop testing the
+// parallel machinery.
 func (c Case) Options(workers int, lazy bool) core.Options {
-	return core.Options{
+	o := core.Options{
 		Colors:     c.Colors,
 		Samples:    c.Samples,
 		PreferStay: true,
@@ -64,6 +68,20 @@ func (c Case) Options(workers int, lazy bool) core.Options {
 		Workers:    workers,
 		Lazy:       lazy,
 	}
+	o.ParallelThreshold = 1
+	return o
+}
+
+// OptionsFor assembles the case's scheduler options for a Variant,
+// including its threshold and instrumentation axes (the kernel axis is
+// applied by Run, since it is a Problem-level switch).
+func (c Case) OptionsFor(v Variant) core.Options {
+	o := c.Options(v.Workers, v.Lazy)
+	if v.Threshold != 0 {
+		o.ParallelThreshold = v.Threshold
+	}
+	o.KernelStats = v.Stats
+	return o
 }
 
 // Sweep is the seeded grid the differential suite runs: it crosses network
@@ -91,16 +109,39 @@ type Variant struct {
 	Name    string
 	Workers int
 	Lazy    bool
+
+	// Threshold overrides Options.ParallelThreshold (0 keeps the
+	// harness's forced 1; use core.DefaultParallelThreshold to test the
+	// production gating, under which small-case steps fall back to the
+	// sequential scan).
+	Threshold int
+
+	// Generic routes the run through the interface-dispatch fallback
+	// kernel (Problem.SetFlatKernel(false)) — the pre-compilation
+	// reference semantics. Comparing it against the flat-kernel reference
+	// run is the old-vs-new kernel sweep.
+	Generic bool
+
+	// Stats enables Options.KernelStats, which selects the instrumented
+	// per-state scan instead of the batched one.
+	Stats bool
 }
 
 // Variants is the strategy set the acceptance criteria require: worker
-// counts {2, 8}, the GOMAXPROCS default, and the lazy selector.
+// counts {2, 8} with the pool forced on, the GOMAXPROCS default, the
+// production threshold gating, the lazy selector, the instrumented scan,
+// and the generic (pre-compilation) kernel both sequential and fanned.
 func Variants() []Variant {
 	return []Variant{
 		{Name: "workers=2", Workers: 2},
 		{Name: "workers=8", Workers: 8},
 		{Name: "workers=default", Workers: 0},
+		{Name: "workers=2/gated", Workers: 2, Threshold: core.DefaultParallelThreshold},
 		{Name: "lazy", Workers: 1, Lazy: true},
+		{Name: "stats", Workers: 1, Stats: true},
+		{Name: "generic", Workers: 1, Generic: true},
+		{Name: "generic/workers=2", Workers: 2, Generic: true},
+		{Name: "generic/lazy", Workers: 1, Lazy: true, Generic: true},
 	}
 }
 
@@ -128,8 +169,8 @@ func CompareResults(ref, got core.Result) error {
 	return nil
 }
 
-// Run executes the sequential reference and every variant on the case and
-// returns an error naming the first divergence.
+// Run executes the sequential flat-kernel reference and every variant on
+// the case and returns an error naming the first divergence.
 func Run(c Case, variants []Variant) error {
 	p, err := c.Problem()
 	if err != nil {
@@ -137,7 +178,9 @@ func Run(c Case, variants []Variant) error {
 	}
 	ref := core.TabularGreedy(p, c.Options(1, false))
 	for _, v := range variants {
-		got := core.TabularGreedy(p, c.Options(v.Workers, v.Lazy))
+		p.SetFlatKernel(!v.Generic)
+		got := core.TabularGreedy(p, c.OptionsFor(v))
+		p.SetFlatKernel(true)
 		if err := CompareResults(ref, got); err != nil {
 			return fmt.Errorf("case %s, variant %s: %w", c.Name, v.Name, err)
 		}

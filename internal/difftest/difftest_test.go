@@ -83,3 +83,54 @@ func TestRunPassesOnTheFullSweep(t *testing.T) {
 		}
 	}
 }
+
+func TestVariantsCoverTheKernelAxes(t *testing.T) {
+	var generic, gated, stats, pooled, lazy bool
+	for _, v := range Variants() {
+		generic = generic || v.Generic
+		gated = gated || v.Threshold >= core.DefaultParallelThreshold
+		stats = stats || v.Stats
+		pooled = pooled || (v.Workers > 1 && v.Threshold == 0 && !v.Generic)
+		lazy = lazy || v.Lazy
+	}
+	for name, ok := range map[string]bool{
+		"generic kernel": generic, "threshold gating": gated,
+		"instrumented scan": stats, "forced pool": pooled, "lazy": lazy,
+	} {
+		if !ok {
+			t.Errorf("variant set never exercises %s", name)
+		}
+	}
+}
+
+func TestKernelSweepAgreement(t *testing.T) {
+	for _, c := range Sweep() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			p, err := c.Problem()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := KernelSweep(p, c.Seed, 400); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestKernelSweepRequiresTheDefaultUtility(t *testing.T) {
+	c := Sweep()[0]
+	p, err := c.Problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetFlatKernel(false)
+	defer p.SetFlatKernel(true)
+	if p.FlatKernel() {
+		t.Fatal("SetFlatKernel(false) did not disable the flat kernel")
+	}
+	if err := KernelSweep(p, 1, 1); err == nil {
+		t.Error("sweep should refuse to run without the flat kernel")
+	}
+}

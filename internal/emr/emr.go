@@ -126,7 +126,8 @@ func ConstrainedGreedy(p *core.Problem, f Field) core.Result {
 	in := p.In
 	n := len(in.Chargers)
 	sched := core.NewSchedule(n, p.K)
-	es := core.NewEnergyState(p)
+	es := p.AcquireState()
+	defer p.ReleaseState(es)
 
 	// contrib[i][pol][pi] would be large; compute lazily per charger with
 	// a cache keyed by policy, valid across slots (orientation fixed).
@@ -220,9 +221,14 @@ func ExecuteOff(p *core.Problem, s core.Schedule) (utility float64, perTask []fl
 				frac = 1 - in.Params.SwitchLoss(last[i], theta)
 				last[i] = theta
 			}
-			for _, j := range p.Gamma[i][pol].Covers {
-				if in.Tasks[j].ActiveAt(k) {
-					energy[j] += p.SlotEnergy(i, j) * frac
+			// Compiled cover list: zero-energy pairs dropped, slot energy
+			// inline (bit-identical to the Gamma scan; see core.CompiledCovers).
+			if lo, hi := p.PolicyWindow(i, pol); k < lo || k >= hi {
+				continue
+			}
+			for _, e := range p.CompiledCovers(i, pol) {
+				if in.Tasks[e.Task].ActiveAt(k) {
+					energy[e.Task] += e.De * frac
 				}
 			}
 		}

@@ -11,7 +11,7 @@ import (
 	"haste/internal/sim"
 )
 
-// Extension experiments: the ablation studies DESIGN.md §5 calls out, in
+// Extension experiments: the ablation studies DESIGN.md §6 calls out, in
 // the same runnable form as the paper figures (`haste run --fig ext-emr`).
 
 // extEMR sweeps the EMR safety threshold and reports the utility/safety

@@ -174,13 +174,14 @@ func (a *agent) recompute() {
 // policyGain sums the policy's marginal utility over the samples whose
 // color for this agent's (slot) partition matches the session color.
 func (a *agent) policyGain(pol int) float64 {
-	u := a.p.In.U()
 	var gain float64
 	for _, s := range a.sessionSamples {
 		energy := a.energy[s]
 		for _, te := range a.sessionCovers[pol] {
-			t := &a.p.In.Tasks[te.task]
-			gain += t.Weight * (u.Of(energy[te.task]+te.de, t.Energy) - u.Of(energy[te.task], t.Energy))
+			// WeightedDelta inlines the default linear-bounded utility
+			// (bit-identical to the interface expression) when the flat
+			// kernel is active, and falls back to it otherwise.
+			gain += a.p.WeightedDelta(te.task, energy[te.task], te.de)
 		}
 	}
 	return gain

@@ -96,9 +96,9 @@ func Solve(p *core.Problem, opt Options) (Solution, error) {
 	greedy := core.TabularGreedy(p, core.DefaultOptions(1))
 	best := Solution{Utility: greedy.RUtility, Schedule: greedy.Schedule.Clone()}
 
-	es := core.NewEnergyState(p)
+	es := p.AcquireState()
+	defer p.ReleaseState(es)
 	cur := core.NewSchedule(n, K)
-	u := p.In.U()
 	tasks := p.In.Tasks
 
 	var nodes int64
@@ -123,7 +123,7 @@ func Solve(p *core.Problem, opt Options) (Solution, error) {
 		// Admissible bound: finish every task optimistically.
 		bound := 0.0
 		for j := range tasks {
-			bound += tasks[j].Weight * u.Of(es.Energy(j)+remaining[d][j], tasks[j].Energy)
+			bound += p.WeightedValue(j, es.Energy(j)+remaining[d][j])
 		}
 		if bound <= best.Utility+1e-12 {
 			return

@@ -96,10 +96,16 @@ func run(p *core.Problem, s core.Schedule, detailed bool) (Outcome, [][]float64)
 			if detailed {
 				orient[i][k] = p.Gamma[i][eff].Orientation
 			}
-			for _, j := range p.Gamma[i][eff].Covers {
-				t := &in.Tasks[j]
-				if t.ActiveAt(k) {
-					energy[j] += p.SlotEnergy(i, j) * frac
+			// Iterate the flat kernel's compiled cover list: zero-energy
+			// pairs are already dropped (they contribute exactly +0.0) and
+			// the slot energies are stored inline, so the executor does no
+			// Gamma/Tasks pointer chasing per pair.
+			if lo, hi := p.PolicyWindow(i, eff); k < lo || k >= hi {
+				continue
+			}
+			for _, e := range p.CompiledCovers(i, eff) {
+				if in.Tasks[e.Task].ActiveAt(k) {
+					energy[e.Task] += e.De * frac
 				}
 			}
 		}

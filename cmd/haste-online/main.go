@@ -6,6 +6,12 @@
 // Usage:
 //
 //	haste-online [--chargers N] [--tasks M] [--seed S] [--colors C] [--field F]
+//	             [--drop P] [--dup P] [--delay P] [--crash P] [--reliable] [--parallel]
+//
+// The --drop/--dup/--delay/--crash flags inject seeded network failures
+// into the negotiation (see package netsim for the failure model);
+// --reliable turns on the commit-reliability layer. When any failure
+// mode is active the demo also prints the degradation accounting.
 package main
 
 import (
@@ -30,6 +36,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "RNG seed")
 	colors := flag.Int("colors", 1, "TabularGreedy color count C")
 	showMap := flag.Bool("map", false, "render an ASCII field map with the final orientations")
+	drop := flag.Float64("drop", 0, "per-delivery message drop probability")
+	dup := flag.Float64("dup", 0, "per-delivery message duplication probability")
+	delay := flag.Float64("delay", 0, "per-delivery bounded-delay probability")
+	crash := flag.Float64("crash", 0, "per-node per-round crash probability")
+	reliable := flag.Bool("reliable", false, "enable the commit-reliability layer (acked, retransmitted UPDs)")
+	parallel := flag.Bool("parallel", false, "run negotiation rounds with one goroutine per charger")
 	flag.Parse()
 
 	cfg := workload.Default()
@@ -50,15 +62,33 @@ func main() {
 	fmt.Printf("online HASTE demo: %d chargers, %d tasks, %d time slots, τ=%d, ρ=%.3f, C=%d\n\n",
 		*chargers, *tasks, p.K, in.Params.Tau, in.Params.Rho, *colors)
 
-	res := online.Run(p, online.Options{Colors: *colors, Seed: *seed})
+	opt := online.Options{
+		Colors:    *colors,
+		Seed:      *seed,
+		Parallel:  *parallel,
+		DropRate:  *drop,
+		DupRate:   *dup,
+		DelayRate: *delay,
+		CrashRate: *crash,
+		Reliable:  *reliable,
+	}
+	res := online.Run(p, opt)
 
 	fmt.Println("arrival-triggered negotiations:")
 	for _, n := range res.Stats.Negotiations {
 		fmt.Printf("  slot %3d: %2d new task(s) → %3d sessions, %5d messages, %4d rounds\n",
 			n.Slot, n.NewTasks, n.Sessions, n.Messages, n.Rounds)
 	}
-	fmt.Printf("total: %d messages, %d rounds, %d dropped\n\n",
+	fmt.Printf("total: %d messages, %d rounds, %d dropped\n",
 		res.Stats.TotalMessages(), res.Stats.TotalRounds(), res.Stats.Net.Dropped)
+	if *drop > 0 || *dup > 0 || *delay > 0 || *crash > 0 || *reliable {
+		net := res.Stats.Net
+		fmt.Printf("failure injection: %d attempted, %d dropped, %d duplicated, %d delayed, %d crashes, %d crash-lost, %d expired\n",
+			net.Attempted, net.Dropped, net.Duplicated, net.Delayed, net.Crashes, net.CrashLost, net.Expired)
+		fmt.Printf("degradation: %d non-quiescent sessions, %d unacked commits, %d retransmits\n",
+			res.Stats.NonQuiescentSessions, res.Stats.UnackedCommits, res.Stats.Retransmits)
+	}
+	fmt.Println()
 
 	fmt.Println("orientation timeline (first 4 chargers, '·' = unoriented):")
 	show := 4

@@ -24,3 +24,24 @@ func TestDemoRuns(t *testing.T) {
 		}
 	}
 }
+
+func TestDemoChaosFlags(t *testing.T) {
+	cmd := exec.Command("go", "run", ".",
+		"--chargers", "6", "--tasks", "15", "--seed", "2",
+		"--drop", "0.1", "--dup", "0.05", "--delay", "0.1", "--crash", "0.01",
+		"--reliable", "--parallel")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("chaos demo failed: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"failure injection:",
+		"degradation:",
+		"overall charging utility",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}

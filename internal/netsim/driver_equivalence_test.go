@@ -81,3 +81,62 @@ func TestDriverEquivalenceSeededTopologies(t *testing.T) {
 		}
 	}
 }
+
+// TestDriverEquivalenceUnderFailureInjection pins the determinism contract
+// for every failure mode: all random draws happen outside the stepping
+// fan, so the sequential and goroutine-per-node drivers must consume the
+// RNG identically and produce bit-identical outcomes and counters.
+func TestDriverEquivalenceUnderFailureInjection(t *testing.T) {
+	modes := map[string]Options{
+		"drop":  {DropRate: 0.3},
+		"dup":   {DupRate: 0.3},
+		"delay": {DelayRate: 0.4, MaxDelay: 3},
+		"crash": {CrashRate: 0.1, CrashDownRounds: 2},
+		"asym": {LinkDropRate: func(from, to int) float64 {
+			if from < to {
+				return 0.5
+			}
+			return 0.05
+		}},
+		"mixed": {DropRate: 0.2, DupRate: 0.1, DelayRate: 0.2, CrashRate: 0.05},
+	}
+	for name, opt := range modes {
+		for _, seed := range []int64{211, 212} {
+			rng := rand.New(rand.NewSource(seed))
+			n := 6 + rng.Intn(6)
+			topo := randomTopology(rng, n)
+			vals := make([]int, n)
+			for i := range vals {
+				vals[i] = rng.Intn(1000)
+			}
+			run := func(parallel bool) ([]int, Stats) {
+				nodes := make([]Node, n)
+				for i := 0; i < n; i++ {
+					nodes[i] = &maxNode{val: vals[i]}
+				}
+				o := opt
+				o.Parallel = parallel
+				o.MaxRounds = 500
+				o.Rng = rand.New(rand.NewSource(seed * 31))
+				e := &Engine{Neighbors: topo, Opt: o}
+				stats, err := e.Run(nodes)
+				if err != nil && err != ErrNoQuiescence {
+					t.Fatalf("%s seed %d parallel=%v: %v", name, seed, parallel, err)
+				}
+				out := make([]int, n)
+				for i, nd := range nodes {
+					out[i] = nd.(*maxNode).best
+				}
+				return out, stats
+			}
+			seqVals, seqStats := run(false)
+			parVals, parStats := run(true)
+			if !reflect.DeepEqual(seqVals, parVals) {
+				t.Errorf("%s seed %d: node outcomes diverge: %v vs %v", name, seed, seqVals, parVals)
+			}
+			if seqStats != parStats {
+				t.Errorf("%s seed %d: stats diverge: %+v vs %+v", name, seed, seqStats, parStats)
+			}
+		}
+	}
+}

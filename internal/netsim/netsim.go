@@ -10,8 +10,26 @@
 // engine reproduces the algorithm's behaviour exactly while keeping runs
 // reproducible. The engine supports a sequential and a goroutine-per-node
 // parallel driver — tests require both to produce identical outcomes — and
-// optional failure injection (message drops and duplications) to exercise
-// the negotiation protocol's tolerance.
+// optional failure injection to exercise the negotiation protocol's
+// tolerance.
+//
+// # Failure model
+//
+// Four failure modes can be injected, all seeded and deterministic:
+//
+//   - message drop (DropRate, or per directed link via LinkDropRate),
+//   - message duplication (DupRate),
+//   - bounded message delay (DelayRate/MaxDelay) — a delayed message is
+//     delivered 1..MaxDelay rounds late, which also reorders it relative
+//     to later traffic on the same link,
+//   - node crash/restart (CrashRate/CrashDownRounds) — a crashed node is
+//     not stepped for CrashDownRounds rounds and every message addressed
+//     to it while it is down is lost; it restarts with its state intact
+//     (the fault is the outage and the lost traffic, not amnesia).
+//
+// All random draws happen in the single-threaded delivery/bookkeeping
+// sections of the round loop, so the sequential and parallel drivers
+// consume the RNG identically and produce bit-identical outcomes.
 package netsim
 
 import (
@@ -43,37 +61,81 @@ type Node interface {
 type Options struct {
 	// DropRate is the probability each individual delivery is lost.
 	DropRate float64
+	// LinkDropRate, when non-nil, overrides DropRate per directed link
+	// (from, to) — asymmetric loss: A→B may be lossy while B→A is clean.
+	// It must be a pure function for runs to stay deterministic.
+	LinkDropRate func(from, to int) float64
 	// DupRate is the probability each delivery is duplicated.
 	DupRate float64
-	// Rng drives failure injection; required if DropRate or DupRate > 0.
+	// DelayRate is the probability each delivery is postponed by a delay
+	// drawn uniformly from 1..MaxDelay rounds (delivered late, and hence
+	// possibly reordered relative to later traffic).
+	DelayRate float64
+	// MaxDelay bounds the injected delay in rounds (default 3).
+	MaxDelay int
+	// CrashRate is the per-node per-round probability that an up node
+	// crashes. A crashed node is down for CrashDownRounds rounds: it is
+	// not stepped and all messages addressed to it are lost.
+	CrashRate float64
+	// CrashDownRounds is the outage length of one crash (default 2).
+	CrashDownRounds int
+	// Rng drives failure injection; required if any failure mode above is
+	// enabled (Run returns ErrRngRequired otherwise).
 	Rng *rand.Rand
 	// Parallel steps all nodes concurrently (one goroutine per node) with
 	// a barrier between rounds. Results are identical to the sequential
-	// driver because inboxes are assembled deterministically.
+	// driver because inboxes are assembled deterministically and every
+	// random draw happens outside the stepping fan.
 	Parallel bool
 	// MaxRounds caps a session (default 10000).
 	MaxRounds int
 }
 
-// Stats accounts for one engine session.
+// failureInjection reports whether any failure mode is enabled.
+func (o Options) failureInjection() bool {
+	return o.DropRate > 0 || o.DupRate > 0 || o.DelayRate > 0 ||
+		o.CrashRate > 0 || o.LinkDropRate != nil
+}
+
+// Stats accounts for one engine session. The counters reconcile exactly:
+//
+//	Messages == Attempted - Dropped - CrashLost - Expired + Duplicated
+//
+// (Delayed deliveries are still delivered — late — so delay moves rounds,
+// not the message balance; a delivery can be both duplicated and delayed.)
 type Stats struct {
 	Rounds     int   // rounds executed (the final quiescent round included)
+	Attempted  int64 // per-link send attempts before any failure injection
 	Messages   int64 // deliveries that reached a node
-	Dropped    int64 // deliveries lost to failure injection
+	Dropped    int64 // deliveries lost to drop injection
 	Duplicated int64 // extra deliveries from duplication
+	Delayed    int64 // deliveries postponed by delay injection
+	Crashes    int64 // node crash events
+	CrashLost  int64 // deliveries lost because the destination was down
+	Expired    int64 // in-flight delayed deliveries discarded at MaxRounds
 }
 
 // Add accumulates another session's stats.
 func (s *Stats) Add(o Stats) {
 	s.Rounds += o.Rounds
+	s.Attempted += o.Attempted
 	s.Messages += o.Messages
 	s.Dropped += o.Dropped
 	s.Duplicated += o.Duplicated
+	s.Delayed += o.Delayed
+	s.Crashes += o.Crashes
+	s.CrashLost += o.CrashLost
+	s.Expired += o.Expired
 }
 
 // ErrNoQuiescence is returned when MaxRounds elapses with traffic still
 // flowing.
 var ErrNoQuiescence = errors.New("netsim: session did not quiesce within MaxRounds")
+
+// ErrRngRequired is returned by Run when a failure mode is enabled but
+// Options.Rng is nil — failure injection silently disabled would make
+// every chaos experiment a no-op.
+var ErrRngRequired = errors.New("netsim: Options.Rng is required when failure injection is enabled")
 
 // Engine drives sessions over a fixed topology. Neighbors[i] lists the
 // node indices adjacent to node i; the relation must be symmetric.
@@ -82,24 +144,82 @@ type Engine struct {
 	Opt       Options
 }
 
-// Run drives the nodes until a round passes with no broadcasts (global
-// quiescence) or MaxRounds is hit. len(nodes) must equal len(Neighbors).
+// delayedMsg is an in-flight delivery postponed by delay injection.
+type delayedMsg struct {
+	due int // round whose Step consumes it
+	to  int
+	msg Message
+}
+
+// Run drives the nodes until a round passes with no broadcasts and no
+// in-flight delayed messages (global quiescence) or MaxRounds is hit.
+// len(nodes) must equal len(Neighbors).
 func (e *Engine) Run(nodes []Node) (Stats, error) {
 	n := len(nodes)
 	maxRounds := e.Opt.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = 10000
 	}
+	maxDelay := e.Opt.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 3
+	}
+	downRounds := e.Opt.CrashDownRounds
+	if downRounds <= 0 {
+		downRounds = 2
+	}
+	if e.Opt.failureInjection() && e.Opt.Rng == nil {
+		return Stats{}, ErrRngRequired
+	}
+
 	var stats Stats
 	inboxes := make([][]Message, n)
 	outs := make([]Payload, n)
+	var pending []delayedMsg // in-flight delayed deliveries, insertion-ordered
+	var downUntil []int      // first round node i is up again (crash injection)
+	if e.Opt.CrashRate > 0 {
+		downUntil = make([]int, n)
+	}
 
 	for round := 0; round < maxRounds; round++ {
 		stats.Rounds++
+
+		// Crash injection: decide this round's outages, then discard the
+		// inbox of every down node. Draws happen in node order in this
+		// single-threaded section, so both drivers consume the RNG
+		// identically.
+		if e.Opt.CrashRate > 0 {
+			for i := 0; i < n; i++ {
+				if downUntil[i] > round {
+					continue // still down
+				}
+				if e.Opt.Rng.Float64() < e.Opt.CrashRate {
+					stats.Crashes++
+					downUntil[i] = round + downRounds
+				}
+			}
+			for i := 0; i < n; i++ {
+				if downUntil[i] > round && len(inboxes[i]) > 0 {
+					// These deliveries were counted as Messages when they
+					// entered the inbox but never reach the node: move
+					// them to CrashLost so the balance stays exact.
+					stats.CrashLost += int64(len(inboxes[i]))
+					stats.Messages -= int64(len(inboxes[i]))
+					inboxes[i] = nil
+				}
+			}
+		}
+
+		down := func(i int) bool { return downUntil != nil && downUntil[i] > round }
+
 		if e.Opt.Parallel {
 			var wg sync.WaitGroup
-			wg.Add(n)
 			for i := 0; i < n; i++ {
+				if down(i) {
+					outs[i] = nil
+					continue
+				}
+				wg.Add(1)
 				go func(i int) {
 					defer wg.Done()
 					outs[i], _ = nodes[i].Step(inboxes[i])
@@ -108,15 +228,32 @@ func (e *Engine) Run(nodes []Node) (Stats, error) {
 			wg.Wait()
 		} else {
 			for i := 0; i < n; i++ {
+				if down(i) {
+					outs[i] = nil
+					continue
+				}
 				outs[i], _ = nodes[i].Step(inboxes[i])
 			}
 		}
 
-		// Deliver. Inboxes are rebuilt from scratch and sorted by sender
-		// so both drivers see identical input order.
+		// Deliver. Inboxes are rebuilt from scratch — due delayed messages
+		// first (in postponement order), then this round's sends — and
+		// stable-sorted by sender so both drivers see identical input order.
 		sent := false
 		for i := range inboxes {
 			inboxes[i] = nil
+		}
+		if len(pending) > 0 {
+			kept := pending[:0]
+			for _, d := range pending {
+				if d.due > round+1 {
+					kept = append(kept, d)
+					continue
+				}
+				inboxes[d.to] = append(inboxes[d.to], d.msg)
+				stats.Messages++
+			}
+			pending = kept
 		}
 		for from, payload := range outs {
 			if payload == nil {
@@ -124,9 +261,14 @@ func (e *Engine) Run(nodes []Node) (Stats, error) {
 			}
 			sent = true
 			for _, to := range e.Neighbors[from] {
+				stats.Attempted++
 				deliveries := 1
 				if e.Opt.Rng != nil {
-					if e.Opt.DropRate > 0 && e.Opt.Rng.Float64() < e.Opt.DropRate {
+					dropRate := e.Opt.DropRate
+					if e.Opt.LinkDropRate != nil {
+						dropRate = e.Opt.LinkDropRate(from, to)
+					}
+					if dropRate > 0 && e.Opt.Rng.Float64() < dropRate {
 						stats.Dropped++
 						continue
 					}
@@ -136,6 +278,18 @@ func (e *Engine) Run(nodes []Node) (Stats, error) {
 					}
 				}
 				for d := 0; d < deliveries; d++ {
+					if e.Opt.DelayRate > 0 && e.Opt.Rng.Float64() < e.Opt.DelayRate {
+						stats.Delayed++
+						// An undelayed send is consumed in round+1; a delay
+						// of d ∈ [1, maxDelay] rounds pushes that to
+						// round+1+d.
+						pending = append(pending, delayedMsg{
+							due: round + 2 + e.Opt.Rng.Intn(maxDelay),
+							to:  to,
+							msg: Message{From: from, Payload: payload},
+						})
+						continue
+					}
 					inboxes[to] = append(inboxes[to], Message{From: from, Payload: payload})
 					stats.Messages++
 				}
@@ -146,10 +300,11 @@ func (e *Engine) Run(nodes []Node) (Stats, error) {
 				return inboxes[i][a].From < inboxes[i][b].From
 			})
 		}
-		if !sent {
+		if !sent && len(pending) == 0 {
 			return stats, nil
 		}
 	}
+	stats.Expired += int64(len(pending))
 	return stats, ErrNoQuiescence
 }
 

@@ -164,6 +164,171 @@ func TestDropAndDupAccounting(t *testing.T) {
 	}
 }
 
+// reconcile asserts the documented message balance:
+// Messages == Attempted - Dropped - CrashLost - Expired + Duplicated.
+func reconcile(t *testing.T, st Stats) {
+	t.Helper()
+	if got := st.Attempted - st.Dropped - st.CrashLost - st.Expired + st.Duplicated; st.Messages != got {
+		t.Errorf("counters do not reconcile: Messages=%d but Attempted-Dropped-CrashLost-Expired+Duplicated=%d (%+v)",
+			st.Messages, got, st)
+	}
+}
+
+// Satellite regression: failure injection used to be silently disabled
+// when Rng was nil despite the rates asking for it. Every failure mode
+// must refuse to run without an RNG.
+func TestRngRequiredWhenFailureInjectionEnabled(t *testing.T) {
+	cases := map[string]Options{
+		"drop":  {DropRate: 0.1},
+		"dup":   {DupRate: 0.1},
+		"delay": {DelayRate: 0.1},
+		"crash": {CrashRate: 0.1},
+		"link":  {LinkDropRate: func(from, to int) float64 { return 0 }},
+	}
+	for name, opt := range cases {
+		e := &Engine{Neighbors: line(2), Opt: opt}
+		st, err := e.Run([]Node{&maxNode{val: 1}, &maxNode{val: 2}})
+		if err != ErrRngRequired {
+			t.Errorf("%s: err = %v, want ErrRngRequired", name, err)
+		}
+		if st != (Stats{}) {
+			t.Errorf("%s: stats = %+v, want zero (run must not start)", name, st)
+		}
+	}
+	// Zero rates without an RNG must keep working.
+	e := &Engine{Neighbors: line(2)}
+	if _, err := e.Run([]Node{&maxNode{val: 1}, &maxNode{val: 2}}); err != nil {
+		t.Errorf("failure-free run without Rng: %v", err)
+	}
+}
+
+// Deterministic drop/dup sweep: at every rate combination the per-mode
+// counters must reconcile exactly with the delivered message count.
+func TestDropDupSweepReconciles(t *testing.T) {
+	n := 8
+	for _, drop := range []float64{0, 0.1, 0.3, 0.6} {
+		for _, dup := range []float64{0, 0.1, 0.3} {
+			rng := rand.New(rand.NewSource(int64(1000 + int(drop*100)*10 + int(dup*100))))
+			nodes := make([]Node, n)
+			for i := 0; i < n; i++ {
+				nodes[i] = &maxNode{val: i * 5}
+			}
+			e := &Engine{Neighbors: line(n), Opt: Options{DropRate: drop, DupRate: dup, Rng: rng, MaxRounds: 2000}}
+			st, err := e.Run(nodes)
+			if err != nil {
+				t.Fatalf("drop=%v dup=%v: %v", drop, dup, err)
+			}
+			reconcile(t, st)
+			if drop == 0 && st.Dropped != 0 {
+				t.Errorf("drop=0 but Dropped=%d", st.Dropped)
+			}
+			if dup == 0 && st.Duplicated != 0 {
+				t.Errorf("dup=0 but Duplicated=%d", st.Duplicated)
+			}
+			if st.Delayed != 0 || st.Crashes != 0 || st.CrashLost != 0 || st.Expired != 0 {
+				t.Errorf("disabled modes fired: %+v", st)
+			}
+		}
+	}
+}
+
+// Delay injection postpones deliveries but loses nothing: consensus must
+// still complete exactly, with the delayed messages accounted.
+func TestDelayInjectionDeliversLate(t *testing.T) {
+	n := 8
+	rng := rand.New(rand.NewSource(77))
+	nodes := make([]Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = &maxNode{val: i * 2}
+	}
+	e := &Engine{Neighbors: line(n), Opt: Options{DelayRate: 0.5, MaxDelay: 3, Rng: rng, MaxRounds: 2000}}
+	st, err := e.Run(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reconcile(t, st)
+	if st.Delayed == 0 {
+		t.Error("expected delayed deliveries at 50% delay rate")
+	}
+	if st.Dropped != 0 || st.Expired != 0 {
+		t.Errorf("delay must not lose messages: %+v", st)
+	}
+	for i, nd := range nodes {
+		if got := nd.(*maxNode).best; got != (n-1)*2 {
+			t.Errorf("node %d best = %d, want %d (delay-only network must converge)", i, got, (n-1)*2)
+		}
+	}
+}
+
+// Asymmetric loss: with the 0→1 direction fully lossy and 1→0 clean, node
+// 1 never learns node 0's value while node 0 hears node 1 fine.
+func TestAsymmetricLinkDrop(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	nodes := []Node{&maxNode{val: 9}, &maxNode{val: 1}}
+	e := &Engine{Neighbors: line(2), Opt: Options{
+		Rng: rng,
+		LinkDropRate: func(from, to int) float64 {
+			if from == 0 && to == 1 {
+				return 1
+			}
+			return 0
+		},
+	}}
+	st, err := e.Run(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reconcile(t, st)
+	if got := nodes[0].(*maxNode).best; got != 9 {
+		t.Errorf("node 0 best = %d, want 9", got)
+	}
+	if got := nodes[1].(*maxNode).best; got != 1 {
+		t.Errorf("node 1 best = %d, want 1 (0→1 is fully lossy)", got)
+	}
+	if st.Dropped == 0 {
+		t.Error("expected drops on the lossy direction")
+	}
+}
+
+// Crash/restart: crashed nodes skip rounds and lose their inbound
+// traffic, all of it accounted, and the session still terminates.
+func TestCrashRestartInjection(t *testing.T) {
+	n := 8
+	rng := rand.New(rand.NewSource(31))
+	nodes := make([]Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = &maxNode{val: i * 3}
+	}
+	e := &Engine{Neighbors: line(n), Opt: Options{CrashRate: 0.15, CrashDownRounds: 2, Rng: rng, MaxRounds: 2000}}
+	st, err := e.Run(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reconcile(t, st)
+	if st.Crashes == 0 {
+		t.Error("expected crash events at 15% crash rate")
+	}
+	if st.Dropped != 0 || st.Duplicated != 0 || st.Delayed != 0 {
+		t.Errorf("disabled modes fired: %+v", st)
+	}
+}
+
+// In-flight delayed messages discarded at MaxRounds must be accounted as
+// Expired so the balance still closes on non-quiescent sessions.
+func TestExpiredCountsInFlightAtMaxRounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	nodes := []Node{&chattyNode{}, &chattyNode{}}
+	e := &Engine{Neighbors: line(2), Opt: Options{DelayRate: 0.6, MaxDelay: 4, Rng: rng, MaxRounds: 30}}
+	st, err := e.Run(nodes)
+	if err != ErrNoQuiescence {
+		t.Fatalf("err = %v, want ErrNoQuiescence", err)
+	}
+	if st.Expired == 0 {
+		t.Error("expected in-flight deliveries to expire at MaxRounds")
+	}
+	reconcile(t, st)
+}
+
 func TestValidateTopology(t *testing.T) {
 	if err := ValidateTopology(line(4)); err != nil {
 		t.Errorf("valid line rejected: %v", err)
@@ -180,9 +345,12 @@ func TestValidateTopology(t *testing.T) {
 }
 
 func TestStatsAdd(t *testing.T) {
-	a := Stats{Rounds: 1, Messages: 2, Dropped: 3, Duplicated: 4}
-	a.Add(Stats{Rounds: 10, Messages: 20, Dropped: 30, Duplicated: 40})
-	want := Stats{Rounds: 11, Messages: 22, Dropped: 33, Duplicated: 44}
+	a := Stats{Rounds: 1, Attempted: 9, Messages: 2, Dropped: 3, Duplicated: 4,
+		Delayed: 5, Crashes: 6, CrashLost: 7, Expired: 8}
+	a.Add(Stats{Rounds: 10, Attempted: 90, Messages: 20, Dropped: 30, Duplicated: 40,
+		Delayed: 50, Crashes: 60, CrashLost: 70, Expired: 80})
+	want := Stats{Rounds: 11, Attempted: 99, Messages: 22, Dropped: 33, Duplicated: 44,
+		Delayed: 55, Crashes: 66, CrashLost: 77, Expired: 88}
 	if a != want {
 		t.Errorf("Add = %+v, want %+v", a, want)
 	}

@@ -21,10 +21,26 @@
 // announced. The rescheduling delay τ is honored by the driver in run.go —
 // a negotiation triggered at slot t can only change orientations from slot
 // t+τ on.
+//
+// # Reliability layer
+//
+// The competitive-ratio argument assumes every committed S-C tuple reaches
+// every neighbor; a dropped UPD permanently diverges the loser's energy
+// view. With Options.Reliable, UPD commits become reliable within a
+// session: every UPD carries a per-agent sequence number, receivers
+// acknowledge every receipt (re-acking retransmissions, since the ack
+// itself can be lost), and a committed agent re-broadcasts its final tuple
+// every round until all neighbors have acked or a retry budget is
+// exhausted. Applying a commit is idempotent
+// (deduplicated per session by sender), so retransmissions and duplicated
+// deliveries never double-count energy. On a failure-free network the
+// reliable protocol commits exactly the same tuples as the base protocol;
+// the only extra traffic is the acks.
 package online
 
 import (
 	"math"
+	"math/bits"
 	"math/rand"
 	"sort"
 
@@ -41,10 +57,30 @@ type bidMsg struct {
 }
 
 // updMsg is the CMD=UPD control message: the sender committed the policy
-// covering these task IDs for the session's (slot, color) pair.
+// covering these task IDs for the session's (slot, color) pair. Seq is the
+// sender's commit sequence number, strictly increasing across its commits,
+// so receivers and acks can identify a commit uniquely.
 type updMsg struct {
 	Slot, Color int
+	Seq         uint32
 	Covers      []int
+}
+
+// ackMsg acknowledges receipt of charger To's UPD with sequence Seq. Acks
+// are broadcast (the substrate has no unicast); everyone but To ignores it.
+type ackMsg struct {
+	Slot, Color int
+	To          int
+	Seq         uint32
+}
+
+// relMsg is the composite payload used when the reliability layer is on:
+// one broadcast per round may carry a bid or an UPD plus any acks owed for
+// UPDs received this round.
+type relMsg struct {
+	Bid  *bidMsg
+	Upd  *updMsg
+	Acks []ackMsg
 }
 
 // agentPhase tracks the bid/decide alternation within a session.
@@ -63,6 +99,11 @@ type agent struct {
 	colors  int
 	samples int
 	seed    int64
+
+	// Reliability layer configuration (Options.Reliable).
+	reliable    bool
+	retryBudget int
+	neighbors   []int // session-topology neighbors, for the ack ledger
 
 	policies []dominant.Policy // Γ_i over the tasks this agent knows
 	known    []bool            // known[j]: task j has arrived (agent may plan for it)
@@ -84,6 +125,16 @@ type agent struct {
 	myBid        float64
 	myPol        int
 
+	// Reliability per-session state.
+	applied     map[int]uint32 // sender → seq of the commit already folded in
+	unacked     map[int]bool   // neighbors that have not acked my commit yet
+	retriesLeft int            // retransmissions left for my commit
+	myUpd       *updMsg        // my committed tuple, retained for retransmits
+
+	// Reliability accounting across the whole renegotiation.
+	updSeq      uint32 // sequence number of my last commit
+	retransmits int64  // UPD re-broadcasts sent
+
 	// sessionCovers[pol] lists (task, per-slot energy) for the tasks of
 	// policy pol that are active in the session slot — precomputed once
 	// per session so the per-round rebids only walk live tasks.
@@ -102,21 +153,26 @@ type taskEnergy struct {
 
 // newAgent builds an agent with the given locked-prefix baseline energies
 // (shared across samples: the locked past does not depend on colors).
-func newAgent(id int, p *core.Problem, colors, samples int, seed int64, knownIDs []int, baseline []float64) *agent {
+// neighbors is the agent's row of the session topology, used by the
+// reliability layer's ack ledger.
+func newAgent(id int, p *core.Problem, opt Options, knownIDs []int, baseline []float64, neighbors []int) *agent {
 	a := &agent{
-		id:      id,
-		p:       p,
-		colors:  colors,
-		samples: samples,
-		seed:    seed,
-		known:   make([]bool, len(p.In.Tasks)),
-		q:       make(map[int][]int),
+		id:          id,
+		p:           p,
+		colors:      opt.Colors,
+		samples:     opt.Samples,
+		seed:        opt.Seed,
+		reliable:    opt.Reliable,
+		retryBudget: opt.RetryBudget,
+		neighbors:   neighbors,
+		known:       make([]bool, len(p.In.Tasks)),
+		q:           make(map[int][]int),
 	}
 	for _, j := range knownIDs {
 		a.known[j] = true
 	}
 	a.policies = dominant.ExtractSubset(p.In, id, knownIDs)
-	a.energy = make([][]float64, samples)
+	a.energy = make([][]float64, a.samples)
 	for s := range a.energy {
 		a.energy[s] = append([]float64(nil), baseline...)
 	}
@@ -130,6 +186,10 @@ func (a *agent) startSession(slot, color int) {
 	a.phase = phaseBid
 	a.fixed = false
 	a.passed = false
+	a.applied = nil
+	a.unacked = nil
+	a.retriesLeft = 0
+	a.myUpd = nil
 
 	if cap(a.sessionCovers) < len(a.policies) {
 		a.sessionCovers = make([][]taskEnergy, len(a.policies))
@@ -206,19 +266,32 @@ func (a *agent) applyCommit(from int, covers []int, slot, color int) {
 
 // Step implements netsim.Node for the current session.
 func (a *agent) Step(inbox []netsim.Message) (netsim.Payload, bool) {
+	if a.reliable {
+		return a.stepReliable(inbox)
+	}
+	return a.stepBasic(inbox)
+}
+
+// stepBasic is the paper's best-effort protocol: a lost UPD silently
+// diverges the loser's energy view.
+func (a *agent) stepBasic(inbox []netsim.Message) (netsim.Payload, bool) {
 	switch a.phase {
 	case phaseBid:
-		// Fold in UPDs from last round's winners, then rebid.
-		seen := map[int]bool{}
+		// Fold in UPDs from last round's winners, then rebid. Each
+		// sender's commit is applied at most once per session, which
+		// makes duplicated and delay-reordered deliveries idempotent.
 		for _, m := range inbox {
 			upd, ok := m.Payload.(updMsg)
 			if !ok || upd.Slot != a.sessionSlot || upd.Color != a.sessionColor {
 				continue
 			}
-			if seen[m.From] { // duplicate delivery (failure injection)
+			if _, done := a.applied[m.From]; done {
 				continue
 			}
-			seen[m.From] = true
+			if a.applied == nil {
+				a.applied = make(map[int]uint32)
+			}
+			a.applied[m.From] = upd.Seq
 			a.applyCommit(m.From, upd.Covers, upd.Slot, upd.Color)
 		}
 		if a.fixed || a.passed {
@@ -250,9 +323,116 @@ func (a *agent) Step(inbox []netsim.Message) (netsim.Payload, bool) {
 		}
 		a.fixed = true
 		a.commitOwn()
-		return updMsg{Slot: a.sessionSlot, Color: a.sessionColor, Covers: a.policies[a.myPol].Covers}, true
+		a.updSeq++
+		return updMsg{Slot: a.sessionSlot, Color: a.sessionColor, Seq: a.updSeq, Covers: a.policies[a.myPol].Covers}, true
 	}
 	return nil, true
+}
+
+// stepReliable is the ack/retransmit variant: identical negotiation
+// decisions, but commits are acknowledged and re-broadcast until every
+// neighbor confirmed receipt (or the retry budget ran out).
+func (a *agent) stepReliable(inbox []netsim.Message) (netsim.Payload, bool) {
+	var out relMsg
+	// Process UPDs and acks every round, whatever the phase: delayed or
+	// retransmitted UPDs may arrive in a decide round and must still be
+	// applied and (re-)acked.
+	for _, m := range inbox {
+		pkt, ok := m.Payload.(relMsg)
+		if !ok {
+			continue
+		}
+		if upd := pkt.Upd; upd != nil && upd.Slot == a.sessionSlot && upd.Color == a.sessionColor {
+			if _, done := a.applied[m.From]; !done {
+				if a.applied == nil {
+					a.applied = make(map[int]uint32)
+				}
+				a.applied[m.From] = upd.Seq
+				a.applyCommit(m.From, upd.Covers, upd.Slot, upd.Color)
+			}
+			// Ack every receipt: the previous ack may itself have been
+			// lost, and retransmissions stop only on a received ack.
+			out.Acks = append(out.Acks, ackMsg{Slot: a.sessionSlot, Color: a.sessionColor, To: m.From, Seq: upd.Seq})
+		}
+		for _, ack := range pkt.Acks {
+			if ack.To == a.id && ack.Slot == a.sessionSlot && ack.Color == a.sessionColor &&
+				a.myUpd != nil && ack.Seq == a.myUpd.Seq {
+				delete(a.unacked, m.From)
+			}
+		}
+	}
+
+	switch a.phase {
+	case phaseBid:
+		a.phase = phaseDecide
+		if !a.fixed && !a.passed {
+			a.recompute()
+			if a.myBid <= 1e-15 {
+				a.passed = true
+			} else {
+				out.Bid = &bidMsg{Slot: a.sessionSlot, Color: a.sessionColor, Delta: a.myBid}
+			}
+		}
+
+	case phaseDecide:
+		a.phase = phaseBid
+		if !a.fixed && !a.passed {
+			won := true
+			for _, m := range inbox {
+				pkt, ok := m.Payload.(relMsg)
+				if !ok || pkt.Bid == nil {
+					continue
+				}
+				bid := pkt.Bid
+				if bid.Slot != a.sessionSlot || bid.Color != a.sessionColor {
+					continue
+				}
+				if bid.Delta > a.myBid || (bid.Delta == a.myBid && m.From < a.id) {
+					won = false
+					break
+				}
+			}
+			if won {
+				a.fixed = true
+				a.commitOwn()
+				a.updSeq++
+				a.myUpd = &updMsg{Slot: a.sessionSlot, Color: a.sessionColor, Seq: a.updSeq, Covers: a.policies[a.myPol].Covers}
+				a.unacked = make(map[int]bool, len(a.neighbors))
+				for _, nb := range a.neighbors {
+					a.unacked[nb] = true
+				}
+				a.retriesLeft = a.retryBudget
+				out.Upd = a.myUpd
+			}
+		}
+	}
+
+	// Session epilogue: while any neighbor has not acked the committed
+	// tuple and budget remains, re-broadcast it. This runs every round —
+	// the engine ends a session after one fully silent round, so an idle
+	// wait for in-flight acks would let the session die under total loss.
+	// A retransmission racing an in-flight ack is harmless: applying a
+	// commit is idempotent and the re-ack it triggers carries no reply.
+	if a.fixed && out.Upd == nil && len(a.unacked) > 0 && a.retriesLeft > 0 {
+		a.retriesLeft--
+		a.retransmits++
+		out.Upd = a.myUpd
+	}
+
+	done := (a.fixed && len(a.unacked) == 0) || a.passed
+	if out.Bid == nil && out.Upd == nil && len(out.Acks) == 0 {
+		return nil, done
+	}
+	return out, done
+}
+
+// unackedCount reports how many neighbors never acked this agent's commit
+// in the session that just ended (0 when it never committed).
+func (a *agent) unackedCount() int {
+	if !a.fixed {
+		return 0
+	}
+	return len(a.unacked)
 }
 
 // commitOwn records the winning policy as the S-C tuple for (slot, color)
@@ -310,5 +490,9 @@ func colorAt(seed int64, s, i, k, colors int) int {
 	x ^= x >> 27
 	x *= 0x94d049bb133111eb
 	x ^= x >> 31
-	return int(x % uint64(colors))
+	// Multiply-shift (Lemire) reduction onto [0, colors): x % colors
+	// over-weights the first 2^64 mod colors residues for
+	// non-power-of-two color counts.
+	hi, _ := bits.Mul64(x, uint64(colors))
+	return int(hi)
 }

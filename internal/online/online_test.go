@@ -2,6 +2,7 @@ package online
 
 import (
 	"math"
+	"math/bits"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -199,6 +200,95 @@ func TestRunUnderMessageLoss(t *testing.T) {
 	}
 	if lossy.Stats.Net.Dropped == 0 {
 		t.Error("expected dropped messages to be accounted")
+	}
+}
+
+// Satellite regression: a lone bidder with no neighbors still bids,
+// commits and burns rounds — those sessions used to vanish from
+// NegotiationStats because no message was ever delivered, leaving the
+// Fig. 16 totals short of Stats.Net.
+func TestLoneBidderSessionsCounted(t *testing.T) {
+	p := mustProblem(t, singleTaskInstance())
+	res := Run(p, Options{Seed: 1})
+	var sessions int
+	for _, n := range res.Stats.Negotiations {
+		sessions += n.Sessions
+	}
+	if sessions == 0 {
+		t.Error("isolated charger's sessions not counted")
+	}
+	if res.Stats.TotalRounds() == 0 {
+		t.Error("isolated charger's rounds not counted")
+	}
+	if res.Stats.TotalMessages() != 0 {
+		t.Errorf("messages = %d, want 0 for isolated charger", res.Stats.TotalMessages())
+	}
+	if got, want := res.Stats.TotalRounds(), res.Stats.Net.Rounds; got != want {
+		t.Errorf("per-negotiation rounds %d != network rounds %d", got, want)
+	}
+}
+
+// Satellite regression: negotiate used to swallow ErrNoQuiescence — the
+// session's traffic landed in Stats.Net but not in the per-negotiation
+// totals, and the degradation was invisible. Force non-quiescence with a
+// tiny MaxRounds and check both the surfaced counter and the exact
+// reconciliation.
+func TestNonQuiescentSessionsAccounted(t *testing.T) {
+	in := onlineWorkload(112)
+	p := mustProblem(t, in)
+	res := Run(p, Options{Seed: 3, MaxRounds: 3})
+	if res.Stats.NonQuiescentSessions == 0 {
+		t.Fatal("MaxRounds=3 tripped no session; scenario does not exercise the path")
+	}
+	if got, want := res.Stats.TotalMessages(), res.Stats.Net.Messages; got != want {
+		t.Errorf("per-negotiation messages %d != network messages %d", got, want)
+	}
+	if got, want := res.Stats.TotalRounds(), res.Stats.Net.Rounds; got != want {
+		t.Errorf("per-negotiation rounds %d != network rounds %d", got, want)
+	}
+}
+
+// Satellite regression: colorAt used x % colors, whose modulo bias
+// over-weights the first 2^64 mod C residues for non-power-of-two C. Pin
+// the unbiased multiply-shift mapping and its uniformity for such C.
+func TestColorAtLemireReduction(t *testing.T) {
+	// The mapping must be the Lemire reduction of the splitmix64 hash
+	// (reimplemented here so a revert to `hash % colors` fails the test).
+	lemire := func(seed int64, s, i, k, colors int) int {
+		x := uint64(seed) ^ uint64(s)*0x9e3779b97f4a7c15 ^ uint64(i)*0xbf58476d1ce4e5b9 ^ uint64(k)*0x94d049bb133111eb
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		hi, _ := bits.Mul64(x, uint64(colors))
+		return int(hi)
+	}
+	for _, colors := range []int{2, 3, 5, 6, 7} {
+		counts := make([]int, colors)
+		n := 0
+		for s := 0; s < 3; s++ {
+			for i := 0; i < 12; i++ {
+				for k := 0; k < 40; k++ {
+					c := colorAt(99, s, i, k, colors)
+					if c < 0 || c >= colors {
+						t.Fatalf("colorAt out of range: %d (C=%d)", c, colors)
+					}
+					if want := lemire(99, s, i, k, colors); c != want {
+						t.Fatalf("colorAt(99,%d,%d,%d,%d) = %d, want Lemire reduction %d", s, i, k, colors, c, want)
+					}
+					counts[c]++
+					n++
+				}
+			}
+		}
+		for c, cnt := range counts {
+			frac := float64(cnt) / float64(n)
+			want := 1.0 / float64(colors)
+			if frac < want*0.6 || frac > want*1.4 {
+				t.Errorf("C=%d color %d frequency %v far from uniform %v", colors, c, frac, want)
+			}
+		}
 	}
 }
 

@@ -27,6 +27,22 @@ type Options struct {
 	// negotiation (see package netsim). The protocol degrades gracefully:
 	// sessions still terminate, utility may drop.
 	DropRate, DupRate float64
+	// DelayRate / CrashRate inject bounded message delay (with reordering)
+	// and node crash/restart outages (see package netsim).
+	DelayRate, CrashRate float64
+	// Reliable turns on the commit-reliability layer: sequence-numbered
+	// UPDs, per-neighbor acks, and a bounded-retransmit session epilogue,
+	// so a lost commit is re-announced instead of silently diverging the
+	// neighbors' energy views. Failure-free runs commit the same tuples
+	// with or without it; the acks and retransmissions cost messages.
+	Reliable bool
+	// RetryBudget caps per-commit retransmissions (default 6 when
+	// Reliable).
+	RetryBudget int
+	// MaxRounds caps each negotiation session's rounds (default: the
+	// netsim default). A session that hits the cap is recorded in
+	// Stats.NonQuiescentSessions; mainly a chaos-testing knob.
+	MaxRounds int
 }
 
 func (o Options) normalize() Options {
@@ -38,22 +54,37 @@ func (o Options) normalize() Options {
 	} else if o.Samples <= 0 {
 		o.Samples = 8 * o.Colors
 	}
+	if o.Reliable && o.RetryBudget <= 0 {
+		o.RetryBudget = 6
+	}
 	return o
+}
+
+// failureInjection reports whether any netsim failure mode is requested.
+func (o Options) failureInjection() bool {
+	return o.DropRate > 0 || o.DupRate > 0 || o.DelayRate > 0 || o.CrashRate > 0
 }
 
 // NegotiationStats describes one arrival-triggered renegotiation.
 type NegotiationStats struct {
 	Slot     int   // arrival slot that triggered it
 	NewTasks int   // tasks that arrived
-	Sessions int   // (slot, color) sessions that carried traffic
+	Sessions int   // (slot, color) sessions that went past the quiescent round
 	Messages int64 // control messages delivered
-	Rounds   int   // negotiation rounds across traffic sessions
+	Rounds   int   // negotiation rounds across executed sessions
 }
 
-// Stats aggregates a full run (the Fig. 16 quantities).
+// Stats aggregates a full run (the Fig. 16 quantities). The per-session
+// totals reconcile exactly with the network-level ones: TotalMessages()
+// == Net.Messages and TotalRounds() == Net.Rounds.
 type Stats struct {
 	Negotiations []NegotiationStats
-	Net          netsim.Stats // network-level totals including drops/dups
+	Net          netsim.Stats // network-level totals including failure injection
+
+	// Degradation accounting under failure injection.
+	NonQuiescentSessions int   // sessions that hit MaxRounds without quiescing
+	UnackedCommits       int   // committed tuples some neighbor never acked (Reliable only)
+	Retransmits          int64 // UPD re-broadcasts by the reliability layer
 }
 
 // TotalMessages sums control messages over all negotiations.
@@ -144,6 +175,9 @@ func Run(p *core.Problem, opt Options) Result {
 		neg.NewTasks = len(arrivals[t])
 		stats.Negotiations = append(stats.Negotiations, neg.NegotiationStats)
 		stats.Net.Add(neg.net)
+		stats.NonQuiescentSessions += neg.nonQuiescent
+		stats.UnackedCommits += neg.unackedCommits
+		stats.Retransmits += neg.retransmits
 
 		// Install the new plan over the renegotiated horizon.
 		for i := 0; i < n; i++ {
@@ -161,9 +195,12 @@ func Run(p *core.Problem, opt Options) Result {
 // negotiation is the outcome of one arrival-triggered renegotiation.
 type negotiation struct {
 	NegotiationStats
-	net    netsim.Stats
-	plans  [][]float64 // per charger, orientation commands for [lockUntil, maxEnd)
-	agents []*agent    // retained for white-box consistency tests
+	net            netsim.Stats
+	nonQuiescent   int   // sessions that hit MaxRounds
+	unackedCommits int   // commits whose ack ledger was non-empty at session end
+	retransmits    int64 // reliability-layer UPD re-broadcasts
+	plans          [][]float64 // per charger, orientation commands for [lockUntil, maxEnd)
+	agents         []*agent    // retained for white-box consistency tests
 }
 
 // negotiate runs the full Algorithm 3 loop (slots outer, colors inner)
@@ -173,22 +210,26 @@ func negotiate(p *core.Problem, opt Options, known []int, orient [][]float64, no
 	n := len(in.Chargers)
 
 	baseline := perceivedEnergies(p, orient, known, lockUntil)
+	neighbors := knownNeighbors(p, known)
 	agents := make([]*agent, n)
 	nodes := make([]netsim.Node, n)
 	for i := 0; i < n; i++ {
-		agents[i] = newAgent(i, p, opt.Colors, opt.Samples, opt.Seed, known, baseline)
+		agents[i] = newAgent(i, p, opt, known, baseline, neighbors[i])
 		nodes[i] = agents[i]
 	}
 
 	engine := &netsim.Engine{
-		Neighbors: knownNeighbors(p, known),
+		Neighbors: neighbors,
 		Opt: netsim.Options{
-			Parallel: opt.Parallel,
-			DropRate: opt.DropRate,
-			DupRate:  opt.DupRate,
+			Parallel:  opt.Parallel,
+			DropRate:  opt.DropRate,
+			DupRate:   opt.DupRate,
+			DelayRate: opt.DelayRate,
+			CrashRate: opt.CrashRate,
+			MaxRounds: opt.MaxRounds,
 		},
 	}
-	if opt.DropRate > 0 || opt.DupRate > 0 {
+	if opt.failureInjection() {
 		engine.Opt.Rng = rand.New(rand.NewSource(opt.Seed ^ int64(now)<<20))
 	}
 
@@ -208,21 +249,36 @@ func negotiate(p *core.Problem, opt Options, known []int, orient [][]float64, no
 				continue
 			}
 			st, err := engine.Run(nodes)
+			out.net.Add(st)
 			if err != nil {
 				// MaxRounds tripped (only possible under extreme failure
-				// injection); keep whatever was committed so far.
-				out.net.Add(st)
-				continue
+				// injection); keep whatever was committed so far, but
+				// account for the degradation instead of hiding it.
+				out.nonQuiescent++
 			}
-			out.net.Add(st)
-			if st.Messages > 0 {
+			// Account every session the engine actually ran, so the
+			// per-negotiation totals reconcile exactly with Stats.Net.
+			// Sessions counts those that went past the single quiescent
+			// round: a lone bidder with no neighbors still bids, commits
+			// and burns rounds, so gating on delivered messages would
+			// undercount (only a fully crash-silenced session stays at
+			// one round).
+			out.Messages += st.Messages
+			out.Rounds += st.Rounds
+			if st.Rounds > 1 {
 				out.Sessions++
-				out.Messages += st.Messages
-				out.Rounds += st.Rounds
+			}
+			for _, a := range agents {
+				if a.unackedCount() > 0 {
+					out.unackedCommits++
+				}
 			}
 		}
 	}
 
+	for _, a := range agents {
+		out.retransmits += a.retransmits
+	}
 	out.agents = agents
 	out.plans = make([][]float64, n)
 	for i, a := range agents {

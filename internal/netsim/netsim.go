@@ -252,6 +252,10 @@ func (e *Engine) Run(nodes []Node) (Stats, error) {
 				}
 				inboxes[d.to] = append(inboxes[d.to], d.msg)
 				stats.Messages++
+				// A due delayed delivery is traffic: the session must run one
+				// more round so its destination consumes it, even if no node
+				// broadcast this round.
+				sent = true
 			}
 			pending = kept
 		}

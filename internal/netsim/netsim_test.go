@@ -260,6 +260,53 @@ func TestDelayInjectionDeliversLate(t *testing.T) {
 	}
 }
 
+// onceNode broadcasts in its first step, then stays silent and counts
+// every delivery it consumes.
+type onceNode struct {
+	sent     bool
+	consumed int
+}
+
+func (o *onceNode) Step(inbox []Message) (Payload, bool) {
+	o.consumed += len(inbox)
+	if !o.sent {
+		o.sent = true
+		return "hello", false
+	}
+	return nil, true
+}
+
+// Regression: a delayed message becoming due on a round where nobody
+// broadcasts used to satisfy the quiescence check right after being moved
+// into an inbox — counted in Messages but never consumed, silently turning
+// delay into loss at the session tail. The session must run one more round
+// so the destination actually sees it.
+func TestDelayedMessageDueOnQuietRoundIsConsumed(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		// DelayRate=1 with MaxDelay=1 postpones every delivery by exactly
+		// one round: both broadcasts from round 0 become due on round 1,
+		// where nobody sends.
+		rng := rand.New(rand.NewSource(1))
+		nodes := []Node{&onceNode{}, &onceNode{}}
+		e := &Engine{Neighbors: line(2), Opt: Options{DelayRate: 1, MaxDelay: 1, Rng: rng, Parallel: parallel}}
+		st, err := e.Run(nodes)
+		if err != nil {
+			t.Fatalf("parallel=%v: %v", parallel, err)
+		}
+		reconcile(t, st)
+		if st.Delayed != 2 {
+			t.Fatalf("parallel=%v: Delayed = %d, scenario must delay both broadcasts", parallel, st.Delayed)
+		}
+		var consumed int
+		for _, nd := range nodes {
+			consumed += nd.(*onceNode).consumed
+		}
+		if consumed != int(st.Messages) {
+			t.Errorf("parallel=%v: nodes consumed %d of %d counted deliveries", parallel, consumed, st.Messages)
+		}
+	}
+}
+
 // Asymmetric loss: with the 0→1 direction fully lossy and 1→0 clean, node
 // 1 never learns node 0's value while node 0 hears node 1 fine.
 func TestAsymmetricLinkDrop(t *testing.T) {

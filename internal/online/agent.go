@@ -377,6 +377,14 @@ func (a *agent) stepReliable(inbox []netsim.Message) (netsim.Payload, bool) {
 	case phaseDecide:
 		a.phase = phaseBid
 		if !a.fixed && !a.passed {
+			// Bids are read only in this decide round; a bid postponed by
+			// delay injection past it is intentionally dropped (unlike UPDs
+			// and acks, which are processed every round above). Two agents
+			// may then both conclude they won and commit overlapping tuples
+			// — safe because applyCommit is idempotent and the divergence
+			// only lowers utility, which is the documented degradation model
+			// the chaos sweeps measure. Retransmitting bids would instead
+			// stall every session for MaxDelay rounds.
 			won := true
 			for _, m := range inbox {
 				pkt, ok := m.Payload.(relMsg)

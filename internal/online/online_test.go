@@ -185,6 +185,30 @@ func TestRunWithColors(t *testing.T) {
 	}
 }
 
+// Pinned multi-color golden: the experiments golden suite only exercises
+// the online path with Colors = 1, so a change to colorAt's sample→color
+// mapping (e.g. a revert to the biased `hash % C`) would slip past it.
+// This pins the exact seeded outcome for a non-power-of-two color count;
+// regenerate the constants deliberately if the mapping ever changes again.
+func TestRunMultiColorGolden(t *testing.T) {
+	in := onlineWorkload(113)
+	p := mustProblem(t, in)
+	res := Run(p, Options{Seed: 4, Colors: 3})
+	const wantUtility = 0.6153407608729332
+	if res.Outcome.Utility != wantUtility {
+		t.Errorf("C=3 utility = %v, want pinned %v", res.Outcome.Utility, wantUtility)
+	}
+	if res.Outcome.Switches != 11 {
+		t.Errorf("C=3 switches = %d, want pinned 11", res.Outcome.Switches)
+	}
+	if got := res.Stats.TotalMessages(); got != 496 {
+		t.Errorf("C=3 messages = %d, want pinned 496", got)
+	}
+	if got := res.Stats.TotalRounds(); got != 175 {
+		t.Errorf("C=3 rounds = %d, want pinned 175", got)
+	}
+}
+
 // Failure injection: the protocol must terminate and still produce a
 // usable plan under heavy message loss.
 func TestRunUnderMessageLoss(t *testing.T) {

@@ -2,7 +2,7 @@
 // the corresponding experiment series at smoke scale — run
 // `go run ./cmd/haste run --fig figNN --reps 100` for paper-fidelity
 // numbers), plus micro-benchmarks of the algorithmic kernels and the
-// ablation benches called out in DESIGN.md §6.
+// ablation benches called out in DESIGN.md §7.
 package haste_test
 
 import (
@@ -259,7 +259,7 @@ func BenchmarkOptSolveSmallScale(b *testing.B) {
 	}
 }
 
-// --- ablations (DESIGN.md §6) ----------------------------------------------
+// --- ablations (DESIGN.md §7) ----------------------------------------------
 
 // BenchmarkAblationColors measures the cost of the TabularGreedy control
 // parameter C (quality numbers are in EXPERIMENTS.md; here: time/allocs).

@@ -1,0 +1,97 @@
+// Command haste-serve runs the resident scheduling service: an HTTP JSON
+// API that schedules HASTE instances with the offline TabularGreedy and
+// caches compiled problems across requests (package serve).
+//
+// Usage:
+//
+//	haste-serve [--addr :8080] [--cache 64] [--concurrency N] [--queue 64]
+//	            [--timeout 30s] [--drain-timeout 10s] [--core-workers 1]
+//	            [--max-body 8388608] [--max-samples 1024]
+//
+// Endpoints: POST /v1/schedule, GET /healthz, GET /metrics. On SIGTERM or
+// SIGINT the service drains gracefully: /healthz flips to 503, new
+// schedule requests are refused, in-flight requests run to completion (up
+// to --drain-timeout), then the listener closes and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"haste/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "haste-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("haste-serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	cache := fs.Int("cache", 64, "compiled-problem cache size (instances)")
+	concurrency := fs.Int("concurrency", 0, "worker slots (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "request queue depth beyond the worker slots")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request wall-clock timeout")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	coreWorkers := fs.Int("core-workers", 1, "core.Options.Workers per scheduling run")
+	maxBody := fs.Int64("max-body", 8<<20, "request body limit, bytes")
+	maxSamples := fs.Int("max-samples", 1024, "Monte-Carlo sample cap per request")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	svc := serve.New(serve.Config{
+		CacheSize:      *cache,
+		MaxConcurrent:  *concurrency,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		MaxSamples:     *maxSamples,
+		CoreWorkers:    *coreWorkers,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "haste-serve listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: svc}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-sigCtx.Done():
+	}
+
+	fmt.Fprintln(out, "haste-serve: draining")
+	svc.BeginDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	m := svc.Metrics()
+	fmt.Fprintf(out, "haste-serve: drained (%d requests, %d scheduled, cache %d hits / %d misses)\n",
+		m.Requests, m.Scheduled, m.Cache.Hits, m.Cache.Misses)
+	return nil
+}

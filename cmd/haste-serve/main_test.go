@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"haste/internal/instio"
+	"haste/internal/workload"
+)
+
+// buildBinary compiles haste-serve into the test's temp dir.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "haste-serve")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestServeLifecycle runs the real binary end to end: start on an ephemeral
+// port, read the listen line from stdout, schedule an instance twice (miss
+// then byte-identical hit), then SIGTERM and assert a graceful drain with
+// exit status 0.
+func TestServeLifecycle(t *testing.T) {
+	bin := buildBinary(t)
+	cmd := exec.Command(bin, "--addr", "127.0.0.1:0", "--timeout", "30s", "--drain-timeout", "5s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no stdout line; stderr: %s", stderr.String())
+	}
+	line := sc.Text()
+	const prefix = "haste-serve listening on "
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("unexpected first line %q", line)
+	}
+	base := "http://" + strings.TrimPrefix(line, prefix)
+
+	// Health first: the service must report ok before any scheduling.
+	res, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", res.StatusCode)
+	}
+
+	// Schedule the same instance twice: first compiles, second must be a
+	// byte-identical cache hit.
+	in := workload.SmallScale().Generate(rand.New(rand.NewSource(7)))
+	var inst bytes.Buffer
+	if err := instio.Save(&inst, in, ""); err != nil {
+		t.Fatal(err)
+	}
+	body := []byte(`{"instance":` + strings.TrimSpace(inst.String()) + `}`)
+	wantCache := []string{"miss", "hit"}
+	var firstHash string
+	for i, want := range wantCache {
+		res, err := http.Post(base+"/v1/schedule", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(res.Body)
+		res.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("schedule %d: status %d: %s", i, res.StatusCode, raw)
+		}
+		var resp struct {
+			InstanceHash string  `json:"instance_hash"`
+			Cache        string  `json:"cache"`
+			Schedule     [][]int `json:"schedule"`
+			RUtility     float64 `json:"r_utility"`
+		}
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			t.Fatalf("schedule %d: bad JSON: %v\n%s", i, err, raw)
+		}
+		if resp.Cache != want {
+			t.Fatalf("schedule %d: cache = %q, want %q", i, resp.Cache, want)
+		}
+		if len(resp.Schedule) != len(in.Chargers) {
+			t.Fatalf("schedule %d: %d rows, want %d", i, len(resp.Schedule), len(in.Chargers))
+		}
+		if i == 0 {
+			firstHash = resp.InstanceHash
+		} else if resp.InstanceHash != firstHash {
+			t.Fatalf("hash changed between identical requests: %q vs %q", resp.InstanceHash, firstHash)
+		}
+	}
+
+	// Metrics must reflect the requests handled so far (healthz is not a
+	// schedule request; both schedules resolved a cache outcome).
+	res, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mraw, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	var metrics struct {
+		Scheduled int64 `json:"scheduled_total"`
+		Cache     struct {
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(mraw, &metrics); err != nil {
+		t.Fatalf("metrics: %v\n%s", err, mraw)
+	}
+	if metrics.Scheduled != 2 || metrics.Cache.Hits != 1 || metrics.Cache.Misses != 1 {
+		t.Fatalf("metrics scheduled=%d hits=%d misses=%d, want 2/1/1",
+			metrics.Scheduled, metrics.Cache.Hits, metrics.Cache.Misses)
+	}
+
+	// Graceful drain: SIGTERM, then the remaining stdout must announce the
+	// drain and the summary line, and the process must exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var rest []string
+	for sc.Scan() {
+		rest = append(rest, sc.Text())
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("exit: %v; stderr: %s", err, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("process did not exit after SIGTERM")
+	}
+	out := strings.Join(rest, "\n")
+	if !strings.Contains(out, "haste-serve: draining") {
+		t.Fatalf("missing drain announcement in %q", out)
+	}
+	// 4 requests total: healthz, two schedules, the metrics read.
+	if !strings.Contains(out, "drained (4 requests, 2 scheduled, cache 1 hits / 1 misses)") {
+		t.Fatalf("unexpected drain summary in %q", out)
+	}
+}
+
+// TestBadFlag asserts flag errors are reported, not swallowed.
+func TestBadFlag(t *testing.T) {
+	bin := buildBinary(t)
+	out, err := exec.Command(bin, "--no-such-flag").CombinedOutput()
+	if err == nil {
+		t.Fatalf("expected failure, got: %s", out)
+	}
+	if !strings.Contains(string(out), "flag provided but not defined") {
+		t.Fatalf("unexpected error output: %s", out)
+	}
+}
+
+// TestAddrInUse asserts a bind failure exits non-zero with the error on
+// stderr rather than hanging.
+func TestAddrInUse(t *testing.T) {
+	bin := buildBinary(t)
+	out, err := exec.Command(bin, "--addr", "256.256.256.256:1").CombinedOutput()
+	if err == nil {
+		t.Fatalf("expected bind failure, got: %s", out)
+	}
+	if !strings.Contains(string(out), "haste-serve:") {
+		t.Fatalf("unexpected error output: %s", out)
+	}
+}

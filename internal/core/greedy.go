@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 )
@@ -135,12 +136,39 @@ type Result struct {
 // Execution strategy (Workers, Lazy) never changes the output schedule —
 // only how fast it is found. See Options.Workers and Options.Lazy.
 func TabularGreedy(p *Problem, opt Options) Result {
+	res, _ := tabularGreedy(nil, p, opt)
+	return res
+}
+
+// TabularGreedyCtx is TabularGreedy with cooperative cancellation: the run
+// checks ctx between greedy stages (one partition's selection + state
+// update), so a cancelled caller gets control back within one stage — the
+// granularity a long request can be abandoned at without tearing shared
+// state. On cancellation it returns ctx.Err() and a zero Result; all
+// pooled EnergyStates are released either way (Problem.StatesInUse drops
+// back to the caller's balance), and the Problem remains fully reusable —
+// an uncancelled rerun is bit-identical to TabularGreedy. The service
+// layer (internal/serve) threads per-request timeouts through this.
+func TabularGreedyCtx(ctx context.Context, p *Problem, opt Options) (Result, error) {
+	res, ok := tabularGreedy(ctx.Done(), p, opt)
+	if !ok {
+		return Result{}, ctx.Err()
+	}
+	return res, nil
+}
+
+// tabularGreedy is the shared body: done, when non-nil, aborts the run at
+// the next stage boundary (ok = false). The cancellation probe is a
+// non-blocking channel read per partition step — it cannot reorder or
+// change any floating-point work, so cancelled-then-retried runs and
+// never-cancelled runs stay on the canonical schedule.
+func tabularGreedy(done <-chan struct{}, p *Problem, opt Options) (Result, bool) {
 	opt = opt.normalize()
 	n, K, C, N := len(p.In.Chargers), p.K, opt.Colors, opt.Samples
 
 	sched := NewSchedule(n, K)
 	if K == 0 || n == 0 {
-		return Result{Schedule: sched}
+		return Result{Schedule: sched}, true
 	}
 
 	// colorOf[(i*K+k)*N+s]: the color sample s assigns to partition (i,k),
@@ -186,6 +214,13 @@ func TabularGreedy(p *Problem, opt Options) Result {
 	for c := 0; c < C; c++ {
 		for k := 0; k < K; k++ {
 			for i := 0; i < n; i++ {
+				if done != nil {
+					select {
+					case <-done:
+						return Result{}, false
+					default:
+					}
+				}
 				affected = affected[:0]
 				cc := uint8(c)
 				for s, col := range colorOf[(i*K+k)*N : (i*K+k+1)*N] {
@@ -217,7 +252,7 @@ func TabularGreedy(p *Problem, opt Options) Result {
 			res.Kernel.add(st.KernelStats())
 		}
 	}
-	return res
+	return res, true
 }
 
 // selectPolicy is the sequential reference selection for partition (i,k):

@@ -242,13 +242,17 @@ func (p *Problem) WeightedDelta(j int, e, de float64) float64 {
 // Monte-Carlo sample, an Evaluate per step) to stop per-run allocation
 // churn; NewEnergyState remains the plain allocating constructor.
 func (p *Problem) AcquireState() *EnergyState {
+	p.statesOut.Add(1)
 	if v := p.statePool.Get(); v != nil {
 		es := v.(*EnergyState)
 		es.Reset()
 		es.stats = nil
+		es.pooled = true
 		return es
 	}
-	return NewEnergyState(p)
+	es := NewEnergyState(p)
+	es.pooled = true
+	return es
 }
 
 // ReleaseState returns a state obtained from AcquireState (or
@@ -256,9 +260,20 @@ func (p *Problem) AcquireState() *EnergyState {
 // afterwards.
 func (p *Problem) ReleaseState(es *EnergyState) {
 	if es != nil && es.p == p {
+		if es.pooled {
+			es.pooled = false
+			p.statesOut.Add(-1)
+		}
 		p.statePool.Put(es)
 	}
 }
+
+// StatesInUse returns the pool's get/put balance: AcquireState checkouts
+// not yet returned by ReleaseState. Every code path that acquires states —
+// including a TabularGreedyCtx run abandoned mid-stage — must drive the
+// balance back to what it found, which the cancellation and service tests
+// assert.
+func (p *Problem) StatesInUse() int64 { return p.statesOut.Load() }
 
 // EnableKernelStats turns on work counting for this state and returns the
 // collector (idempotent). Counting is opt-in because the single-sample

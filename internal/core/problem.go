@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"haste/internal/dominant"
 	"haste/internal/model"
@@ -37,7 +38,11 @@ type Problem struct {
 	kern kernel
 
 	// statePool recycles EnergyStates between runs; see AcquireState.
+	// statesOut counts AcquireState calls minus ReleaseState returns —
+	// the pool's get/put balance. Leak tests (and the service layer's
+	// cancellation tests) assert it returns to its baseline.
 	statePool sync.Pool
+	statesOut atomic.Int64
 }
 
 // NewProblem validates the instance, extracts the dominant task sets of
@@ -139,6 +144,12 @@ type EnergyState struct {
 	// stats, when non-nil, counts the flat kernel's work (opt-in; see
 	// EnableKernelStats).
 	stats *KernelStats
+
+	// pooled marks states handed out by AcquireState and not yet
+	// returned, so the statesOut balance counts each checkout exactly
+	// once even if ReleaseState is called on a NewEnergyState state or
+	// twice on the same one.
+	pooled bool
 }
 
 // NewEnergyState returns the empty state (f(∅) = 0).

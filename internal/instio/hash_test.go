@@ -1,0 +1,104 @@
+package instio
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"haste/internal/workload"
+)
+
+func TestHashDeterministic(t *testing.T) {
+	in := workload.SmallScale().Generate(rand.New(rand.NewSource(3)))
+	h1, err := HashInstance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := HashInstance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("hash not deterministic: %s vs %s", h1, h2)
+	}
+	if !strings.HasPrefix(h1, "sha256:") || len(h1) != len("sha256:")+64 {
+		t.Fatalf("malformed hash %q", h1)
+	}
+}
+
+func TestHashIgnoresCommentAndFormatting(t *testing.T) {
+	in := workload.SmallScale().Generate(rand.New(rand.NewSource(4)))
+	base, err := FromInstance(in, "").Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	commented, err := FromInstance(in, "a human-readable comment").Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != commented {
+		t.Errorf("comment changed the hash: %s vs %s", base, commented)
+	}
+
+	// Re-serializing through Save (indented JSON) and loading back must
+	// reach the same content address: the hash is over canonical bytes,
+	// not over whatever spelling the client sent.
+	var sb strings.Builder
+	if err := Save(&sb, in, "different comment, different whitespace"); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := Load(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := HashInstance(reloaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh != base {
+		t.Errorf("round trip changed the hash: %s vs %s", rh, base)
+	}
+}
+
+func TestHashSeparatesContent(t *testing.T) {
+	cfg := workload.SmallScale()
+	a := cfg.Generate(rand.New(rand.NewSource(5)))
+	b := cfg.Generate(rand.New(rand.NewSource(6)))
+	ha, err := HashInstance(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := HashInstance(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha == hb {
+		t.Fatal("distinct instances collided")
+	}
+
+	// A one-float perturbation must change the address.
+	c := cfg.Generate(rand.New(rand.NewSource(5)))
+	c.Tasks[0].Energy += 1e-9
+	hc, err := HashInstance(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc == ha {
+		t.Fatal("perturbed instance kept the same hash")
+	}
+}
+
+func TestCanonicalNormalizesEmptySlices(t *testing.T) {
+	f := File{Version: SchemaVersion, Comment: "x"}
+	raw, err := f.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(raw)
+	if strings.Contains(s, "null") {
+		t.Errorf("canonical encoding contains null slices: %s", s)
+	}
+	if strings.Contains(s, "comment") {
+		t.Errorf("canonical encoding kept the comment: %s", s)
+	}
+}

@@ -11,6 +11,8 @@
 package instio
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -153,6 +155,47 @@ func (f File) ToInstance() (*model.Instance, error) {
 		return nil, fmt.Errorf("instio: invalid instance: %w", err)
 	}
 	return in, nil
+}
+
+// Canonical returns the canonical wire encoding of the file: schema
+// version pinned, comment stripped, nil slices normalized to empty, and
+// compact JSON in the fixed field order of the schema structs. Two files
+// that decode to the same instance content (regardless of whitespace,
+// float spelling like 60 vs 6e1, or comments) canonicalize to the same
+// bytes, which is what makes the encoding usable as a content address.
+func (f File) Canonical() ([]byte, error) {
+	f.Version = SchemaVersion
+	f.Comment = ""
+	if f.Charger == nil {
+		f.Charger = []FilePoint{}
+	}
+	if f.Tasks == nil {
+		f.Tasks = []FileTask{}
+	}
+	raw, err := json.Marshal(f)
+	if err != nil {
+		return nil, fmt.Errorf("instio: canonicalize: %w", err)
+	}
+	return raw, nil
+}
+
+// Hash returns the content address of the file: "sha256:" followed by the
+// hex SHA-256 of Canonical(). Instances with equal canonical encodings —
+// and only those — share a hash; the compiled-problem cache of package
+// serve keys on it.
+func (f File) Hash() (string, error) {
+	raw, err := f.Canonical()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(raw)
+	return "sha256:" + hex.EncodeToString(sum[:]), nil
+}
+
+// HashInstance returns the content address of a model instance via its
+// canonical file serialization.
+func HashInstance(in *model.Instance) (string, error) {
+	return FromInstance(in, "").Hash()
 }
 
 // Save writes the instance as indented JSON.

@@ -11,7 +11,7 @@ import (
 
 // Seeded chaos-sweep harness: drive the full online stack through a grid
 // of failure modes and rates and assert the three robustness invariants
-// of the negotiation protocol (see DESIGN.md §5 and EXPERIMENTS.md):
+// of the negotiation protocol (see DESIGN.md §3 and EXPERIMENTS.md):
 //
 //  1. every run terminates and yields a utility in [0, 1];
 //  2. on the pinned scenarios no faulty run beats the failure-free run

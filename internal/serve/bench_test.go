@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"haste/internal/workload"
+)
+
+// benchBody builds a /v1/schedule body for a paper-scale (fig. 4 default,
+// n=50 chargers / m=200 tasks) instance generated from the given seed.
+func benchBody(b *testing.B, seed int64) []byte {
+	b.Helper()
+	cfg := workload.Default()
+	in := cfg.Generate(rand.New(rand.NewSource(seed)))
+	return requestBody(b, instanceJSON(b, in), nil)
+}
+
+func benchServe(b *testing.B, s *Server, body []byte) {
+	b.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/schedule", bytes.NewReader(body))
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+}
+
+// BenchmarkServeCold measures the full cold path: JSON decode, canonical
+// hash, NewProblem compile, then the greedy run. Every iteration posts a
+// never-seen instance (distinct seed) and CacheSize 1 keeps the cache from
+// amortizing anything across iterations.
+func BenchmarkServeCold(b *testing.B) {
+	bodies := make([][]byte, b.N)
+	for i := range bodies {
+		bodies[i] = benchBody(b, int64(1000+i))
+	}
+	s := New(Config{CacheSize: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchServe(b, s, bodies[i])
+	}
+	b.StopTimer()
+	st := s.CacheStats()
+	if st.Hits != 0 || st.Misses != int64(b.N) {
+		b.Fatalf("cold benchmark was not cold: %+v", st)
+	}
+}
+
+// BenchmarkServeWarm measures the byte-identical warm path: the raw-byte
+// memo resolves the canonical hash without decoding the instance and the
+// compiled problem is reused, so an iteration costs one greedy run plus
+// the HTTP/JSON envelope.
+func BenchmarkServeWarm(b *testing.B) {
+	body := benchBody(b, 1)
+	s := New(Config{})
+	benchServe(b, s, body) // prime: one compile
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchServe(b, s, body)
+	}
+	b.StopTimer()
+	st := s.CacheStats()
+	if st.Misses != 1 || st.Hits != int64(b.N) {
+		b.Fatalf("warm benchmark was not warm: %+v", st)
+	}
+}
+
+// BenchmarkServeWarmRespelled measures the warm path for a semantically
+// identical but differently-spelled instance: the byte memo misses, so the
+// request pays decode + canonical hash, but the compiled problem is shared
+// via the canonical hash. This is the floor for clients that rebuild their
+// JSON per request.
+func BenchmarkServeWarmRespelled(b *testing.B) {
+	cfg := workload.Default()
+	in := cfg.Generate(rand.New(rand.NewSource(1)))
+	raw := instanceJSON(b, in)
+	compact := requestBody(b, raw, nil)
+
+	var ind bytes.Buffer
+	if err := json.Indent(&ind, bytes.TrimSpace(raw), "", "    "); err != nil {
+		b.Fatal(err)
+	}
+	respelled := requestBody(b, ind.Bytes(), nil)
+
+	s := New(Config{})
+	benchServe(b, s, compact) // prime the problem cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchServe(b, s, respelled)
+	}
+	b.StopTimer()
+	st := s.CacheStats()
+	if st.Misses != 1 {
+		b.Fatalf("respelled benchmark recompiled: %+v", st)
+	}
+}
+
+// BenchmarkServeThroughput drives the service over real HTTP with 1, 4 and
+// 16 concurrent clients on a warm cache, reporting requests/sec. On a
+// single-vCPU host the concurrency levels mostly measure queueing overhead;
+// on multi-core hardware they show the shared compiled problem scheduling
+// concurrently.
+func BenchmarkServeThroughput(b *testing.B) {
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("clients%d", clients), func(b *testing.B) {
+			body := benchBody(b, 1)
+			s := New(Config{MaxConcurrent: clients, QueueDepth: 2 * clients})
+			ts := httptest.NewServer(s)
+			defer ts.Close()
+			// Prime the cache once so every measured request is warm.
+			res, err := http.Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			res.Body.Close()
+
+			var failed atomic.Int64
+			b.SetParallelism(clients) // GOMAXPROCS may be 1; force N client goroutines
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					res, err := http.Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(body))
+					if err != nil {
+						failed.Add(1)
+						continue
+					}
+					if res.StatusCode != http.StatusOK {
+						failed.Add(1)
+					}
+					res.Body.Close()
+				}
+			})
+			b.StopTimer()
+			if n := failed.Load(); n > 0 {
+				b.Fatalf("%d requests failed", n)
+			}
+		})
+	}
+}

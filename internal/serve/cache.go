@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"haste/internal/core"
+)
+
+// problemCache is the content-addressed compiled-problem cache at the
+// heart of the service: canonical instance hash (instio.File.Hash) →
+// compiled *core.Problem. A hit skips core.NewProblem entirely — the
+// request reuses the compiled cover lists, slot windows and the
+// AcquireState/ReleaseState pool of the cached Problem, which is safe
+// because a Problem is immutable after compilation (the state pool is the
+// only mutable part and is itself concurrency-safe).
+//
+// Two mechanisms bound the work under concurrency:
+//
+//   - LRU eviction caps resident compiled problems at max entries.
+//     Evicted problems stay valid for requests still holding them (the
+//     garbage collector retires them once the last request finishes).
+//   - Singleflight compilation: the first request for an absent hash
+//     compiles; concurrent requests for the same hash wait on that one
+//     compilation instead of stampeding NewProblem ("thundering herd").
+//     Waiters count as hits — they skipped a compile.
+//
+// A second, cheaper layer short-circuits repeated identical bodies: the
+// byte memo maps the SHA-256 of the raw (uncanonicalized) instance bytes
+// to the canonical hash, so a warm request with a byte-identical instance
+// skips JSON-decoding the instance altogether. The memo is only ever a
+// shortcut to the canonical key — differently formatted spellings of the
+// same instance miss the memo but still hit the problem cache.
+type problemCache struct {
+	mu       sync.Mutex
+	max      int
+	ll       *list.List // front = most recently used, values are *cacheEntry
+	byHash   map[string]*list.Element
+	inflight map[string]*compileCall
+
+	memoMax int
+	memoLL  *list.List // values are *memoEntry
+	memoBy  map[string]*list.Element
+
+	// Counters, guarded by mu. Every get() resolves to exactly one of
+	// hits / misses / compileErrors, so for any quiesced workload
+	// hits + misses + compileErrors == schedule requests that reached
+	// the cache — the reconciliation the concurrency suite asserts.
+	hits          int64
+	misses        int64
+	compileErrors int64
+	evictions     int64
+	memoHits      int64
+}
+
+type cacheEntry struct {
+	hash string
+	p    *core.Problem
+}
+
+type compileCall struct {
+	done chan struct{}
+	p    *core.Problem
+	err  error
+}
+
+type memoEntry struct {
+	byteHash  string
+	canonHash string
+}
+
+func newProblemCache(max, memoMax int) *problemCache {
+	return &problemCache{
+		max:      max,
+		ll:       list.New(),
+		byHash:   make(map[string]*list.Element),
+		inflight: make(map[string]*compileCall),
+		memoMax:  memoMax,
+		memoLL:   list.New(),
+		memoBy:   make(map[string]*list.Element),
+	}
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters, exposed on
+// /metrics and asserted by the tests.
+type CacheStats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	CompileErrors int64 `json:"compile_errors"`
+	Evictions     int64 `json:"evictions"`
+	MemoHits      int64 `json:"byte_memo_hits"`
+	Entries       int   `json:"entries"`
+}
+
+func (c *problemCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		CompileErrors: c.compileErrors,
+		Evictions:     c.evictions,
+		MemoHits:      c.memoHits,
+		Entries:       c.ll.Len(),
+	}
+}
+
+// lookup returns the cached problem for canonical hash h if it is resident
+// or currently compiling (joining the in-flight compile), without the
+// ability to compile itself. ok = false means the caller must decode the
+// instance and call get with a compile function; nothing is counted in
+// that case, so the later get() still records exactly one outcome.
+func (c *problemCache) lookup(h string) (*core.Problem, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.byHash[h]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		p := el.Value.(*cacheEntry).p
+		c.mu.Unlock()
+		return p, true, nil
+	}
+	call, ok := c.inflight[h]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	<-call.done
+	c.mu.Lock()
+	if call.err != nil {
+		c.compileErrors++
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+	return call.p, true, call.err
+}
+
+// get returns the compiled problem for canonical hash h, compiling it at
+// most once across concurrent callers. The leader counts as a miss (it
+// paid NewProblem); joiners count as hits. Failed compilations are not
+// cached — the instance is invalid and fails fast on revalidation.
+func (c *problemCache) get(h string, compile func() (*core.Problem, error)) (*core.Problem, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.byHash[h]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		p := el.Value.(*cacheEntry).p
+		c.mu.Unlock()
+		return p, true, nil
+	}
+	if call, ok := c.inflight[h]; ok {
+		c.mu.Unlock()
+		<-call.done
+		c.mu.Lock()
+		if call.err != nil {
+			c.compileErrors++
+		} else {
+			c.hits++
+		}
+		c.mu.Unlock()
+		return call.p, true, call.err
+	}
+	call := &compileCall{done: make(chan struct{})}
+	c.inflight[h] = call
+	c.mu.Unlock()
+
+	call.p, call.err = compile()
+
+	c.mu.Lock()
+	delete(c.inflight, h)
+	if call.err != nil {
+		c.compileErrors++
+	} else {
+		c.misses++
+		c.insertLocked(h, call.p)
+	}
+	c.mu.Unlock()
+	close(call.done)
+	if call.err != nil {
+		return nil, false, call.err
+	}
+	return call.p, false, nil
+}
+
+// insertLocked adds a freshly compiled problem and evicts the LRU tail
+// beyond the bound. Callers hold mu.
+func (c *problemCache) insertLocked(h string, p *core.Problem) {
+	c.byHash[h] = c.ll.PushFront(&cacheEntry{hash: h, p: p})
+	for c.ll.Len() > c.max {
+		tail := c.ll.Back()
+		ent := tail.Value.(*cacheEntry)
+		c.ll.Remove(tail)
+		delete(c.byHash, ent.hash)
+		c.evictions++
+	}
+}
+
+// memoGet resolves a raw-bytes hash to the canonical hash of the instance
+// those bytes decode to, when this exact body has been seen before.
+func (c *problemCache) memoGet(byteHash string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.memoBy[byteHash]
+	if !ok {
+		return "", false
+	}
+	c.memoLL.MoveToFront(el)
+	c.memoHits++
+	return el.Value.(*memoEntry).canonHash, true
+}
+
+// memoAdd records the byte-hash → canonical-hash mapping (bounded LRU).
+func (c *problemCache) memoAdd(byteHash, canonHash string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.memoBy[byteHash]; ok {
+		c.memoLL.MoveToFront(el)
+		return
+	}
+	c.memoBy[byteHash] = c.memoLL.PushFront(&memoEntry{byteHash: byteHash, canonHash: canonHash})
+	for c.memoLL.Len() > c.memoMax {
+		tail := c.memoLL.Back()
+		ent := tail.Value.(*memoEntry)
+		c.memoLL.Remove(tail)
+		delete(c.memoBy, ent.byteHash)
+	}
+}

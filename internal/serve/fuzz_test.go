@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"haste/internal/workload"
+)
+
+// fuzzServer is shared across fuzz executions (the cache surviving between
+// inputs is exactly the production shape — a byte-identical re-send must
+// hit the memo, a mutated one must recompile). Modest limits keep
+// pathological inputs cheap; the caps are part of what is being fuzzed.
+var (
+	fuzzOnce sync.Once
+	fuzzSrv  *Server
+)
+
+func fuzzServer() *Server {
+	fuzzOnce.Do(func() {
+		fuzzSrv = New(Config{
+			CacheSize:      8,
+			MaxConcurrent:  2,
+			QueueDepth:     4,
+			MaxSamples:     64,
+			MaxSlots:       512,
+			MaxBodyBytes:   1 << 20,
+			RequestTimeout: 2 * time.Second,
+		})
+	})
+	return fuzzSrv
+}
+
+// FuzzScheduleHandler: arbitrary bytes POSTed to /v1/schedule must never
+// panic the handler and must always yield a well-formed JSON document —
+// a schedule on 200, an {"error", "status"} object otherwise, with the
+// recorded status matching the wire status.
+func FuzzScheduleHandler(f *testing.F) {
+	// Valid envelope around a real instance.
+	in := workload.SmallScale().Generate(rand.New(rand.NewSource(1)))
+	valid := string(bytes.TrimSpace(instanceJSON(f, in)))
+	f.Add(`{"instance":` + valid + `}`)
+	f.Add(`{"instance":` + valid + `,"colors":3,"samples":6,"seed":42,"lazy":true,"kernel_stats":true}`)
+	f.Add(`{"instance":` + valid + `,"prefer_stay":false}`)
+
+	// The instio loader's own fuzz seeds, wrapped in the envelope — the
+	// handler must reject or accept them exactly as gracefully.
+	for _, inst := range []string{
+		`{"version":1,"params":{"alpha":1,"beta":1,"radius_m":1,"charge_angle_deg":60,"receive_angle_deg":60,"slot_seconds":60},"chargers":[{"x":0,"y":0}],"tasks":[]}`,
+		`{"version":1}`,
+		`[]`,
+		`{"version":1,"params":{"alpha":1,"beta":0,"radius_m":5,"charge_angle_deg":90,"receive_angle_deg":180,"slot_seconds":1},"chargers":[],"tasks":[{"x":1,"y":1,"phi_deg":0,"release_slot":0,"end_slot":2,"energy_j":10,"weight":1}]}`,
+	} {
+		f.Add(`{"instance":` + inst + `}`)
+	}
+
+	// Malformed envelopes and hostile options.
+	f.Add(``)
+	f.Add(`{`)
+	f.Add(`null`)
+	f.Add(`{"instance":null}`)
+	f.Add(`{"instance":{},"colors":-100,"samples":-5}`)
+	f.Add(`{"instance":{"version":1},"samples":99999999}`)
+	f.Add(`{"instance":` + valid + `,"colors":1000000,"seed":-9223372036854775808}`)
+	f.Add(`{"instance":` + valid + `}trailing`)
+	// Horizon bomb: a single task ending at slot 2e9 must be rejected by
+	// the MaxSlots cap, not scheduled (the greedy tables scale with K).
+	f.Add(`{"instance":{"version":1,"params":{"alpha":1,"beta":0,"radius_m":5,"charge_angle_deg":90,"receive_angle_deg":180,"slot_seconds":1},"chargers":[{"x":0,"y":0}],"tasks":[{"x":1,"y":1,"phi_deg":0,"release_slot":0,"end_slot":2000000000,"energy_j":10,"weight":1}]}}`)
+	f.Add(`{"instance":{"version":1,"params":{"alpha":1e308,"beta":1e308,"radius_m":1e308,"charge_angle_deg":360,"receive_angle_deg":360,"slot_seconds":1e-308},"chargers":[{"x":1e308,"y":-1e308}],"tasks":[{"x":0,"y":0,"phi_deg":1e20,"release_slot":0,"end_slot":1,"energy_j":1e-300,"weight":0}]}}`)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		s := fuzzServer()
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/schedule", bytes.NewReader([]byte(body)))
+		s.ServeHTTP(rec, req) // must not panic — the fuzzer catches any
+
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("Content-Type %q on input %q", ct, body)
+		}
+		switch rec.Code {
+		case http.StatusOK:
+			var resp scheduleResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("200 body is not a schedule response: %v\n%s", err, rec.Body.Bytes())
+			}
+			if resp.Schedule == nil || resp.InstanceHash == "" {
+				t.Fatalf("200 body missing fields: %s", rec.Body.Bytes())
+			}
+		default:
+			var er errorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+				t.Fatalf("status %d body is not a JSON error: %v\n%s", rec.Code, err, rec.Body.Bytes())
+			}
+			if er.Error == "" || er.Status != rec.Code {
+				t.Fatalf("status %d with inconsistent error body: %s", rec.Code, rec.Body.Bytes())
+			}
+		}
+	})
+}

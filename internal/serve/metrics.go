@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"haste/internal/core"
+)
+
+// latencyBucketsMS are the upper bounds (milliseconds, inclusive) of the
+// request-latency histogram; the implicit last bucket is +Inf.
+var latencyBucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// metrics aggregates the service's observability counters. Everything is
+// either atomic or guarded by mu, so the handler path records with no
+// contention beyond one mutex for the (rare) kernel-stats merge.
+type metrics struct {
+	start time.Time
+
+	requests  atomic.Int64 // every HTTP request, all routes
+	scheduled atomic.Int64 // schedule requests that ran the scheduler
+	inFlight  atomic.Int64 // schedule requests holding a worker slot
+	queued    atomic.Int64 // schedule requests waiting for a slot
+
+	mu       sync.Mutex
+	byStatus map[int]int64
+	kernel   core.KernelStats
+
+	latCounts []atomic.Int64 // one per bucket + overflow
+	latCount  atomic.Int64
+	latSumUS  atomic.Int64 // microseconds, so the sum can stay integral
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:     time.Now(),
+		byStatus:  make(map[int]int64),
+		latCounts: make([]atomic.Int64, len(latencyBucketsMS)+1),
+	}
+}
+
+func (m *metrics) recordStatus(code int) {
+	m.requests.Add(1)
+	m.mu.Lock()
+	m.byStatus[code]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) recordLatency(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	idx := sort.SearchFloat64s(latencyBucketsMS, ms)
+	m.latCounts[idx].Add(1)
+	m.latCount.Add(1)
+	m.latSumUS.Add(d.Microseconds())
+}
+
+func (m *metrics) recordKernel(ks core.KernelStats) {
+	if ks == (core.KernelStats{}) {
+		return
+	}
+	m.mu.Lock()
+	m.kernel.Calls += ks.Calls
+	m.kernel.Visited += ks.Visited
+	m.kernel.Offered += ks.Offered
+	m.kernel.Pruned += ks.Pruned
+	m.mu.Unlock()
+}
+
+// LatencySnapshot is the histogram as served on /metrics: cumulative-free
+// per-bucket counts with their upper bounds in milliseconds (the last
+// count is the +Inf overflow bucket).
+type LatencySnapshot struct {
+	BucketsMS []float64 `json:"buckets_ms"`
+	Counts    []int64   `json:"counts"`
+	Count     int64     `json:"count"`
+	SumMS     float64   `json:"sum_ms"`
+}
+
+// MetricsSnapshot is the JSON document GET /metrics returns.
+type MetricsSnapshot struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Requests      int64            `json:"requests_total"`
+	Scheduled     int64            `json:"scheduled_total"`
+	ByStatus      map[string]int64 `json:"requests_by_status"`
+	InFlight      int64            `json:"in_flight"`
+	Queued        int64            `json:"queued"`
+	Draining      bool             `json:"draining"`
+	Latency       LatencySnapshot  `json:"latency"`
+	Cache         CacheStats       `json:"cache"`
+	Kernel        core.KernelStats `json:"kernel"`
+}
+
+func (m *metrics) snapshot(cache CacheStats, draining bool) MetricsSnapshot {
+	snap := MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Requests:      m.requests.Load(),
+		Scheduled:     m.scheduled.Load(),
+		ByStatus:      make(map[string]int64),
+		InFlight:      m.inFlight.Load(),
+		Queued:        m.queued.Load(),
+		Draining:      draining,
+		Cache:         cache,
+	}
+	m.mu.Lock()
+	for code, n := range m.byStatus {
+		snap.ByStatus[statusKey(code)] = n
+	}
+	snap.Kernel = m.kernel
+	m.mu.Unlock()
+	snap.Latency = LatencySnapshot{
+		BucketsMS: latencyBucketsMS,
+		Counts:    make([]int64, len(m.latCounts)),
+		Count:     m.latCount.Load(),
+		SumMS:     float64(m.latSumUS.Load()) / 1e3,
+	}
+	for i := range m.latCounts {
+		snap.Latency.Counts[i] = m.latCounts[i].Load()
+	}
+	return snap
+}
+
+func statusKey(code int) string {
+	// Three-digit HTTP statuses only; avoids fmt on the metrics path.
+	return string([]byte{'0' + byte(code/100%10), '0' + byte(code/10%10), '0' + byte(code%10)})
+}

@@ -259,6 +259,53 @@ func BenchmarkOptSolveSmallScale(b *testing.B) {
 	}
 }
 
+// --- beyond-paper scale (shard-and-stitch) ---------------------------------
+
+// BenchmarkFleetScaleSharded runs TabularGreedy C=1 on the clustered
+// 10⁴-task fleet (50× the paper's largest workload; 250 clusters, 1250
+// chargers), monolithic vs shard-and-stitch. Every row produces exactly
+// the same utility (internal/difftest's sharded sweep proves the general
+// contract; TestFleetScaleShardedEquivalence pins this instance). On a
+// single-vCPU box the sharded workers cannot run concurrently, so the
+// W4 row measures dispatch overhead only; the interesting single-core
+// number is sharded/W1 vs mono/W1 — smaller per-component tables. The
+// first sharded run also compiles the 256 component sub-Problems; the
+// compile sub-bench isolates that one-time cost.
+func BenchmarkFleetScaleSharded(b *testing.B) {
+	in := workload.FleetScale(10_000).Generate(rand.New(rand.NewSource(1)))
+	b.Run("compile", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.NewProblem(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	p, err := core.NewProblem(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name string
+		opt  core.Options
+	}{
+		{"mono/W1", core.Options{Colors: 1, PreferStay: true, Workers: 1, Shard: core.ShardOff}},
+		{"sharded/W1", core.Options{Colors: 1, PreferStay: true, Workers: 1, Shard: core.ShardOn}},
+		{"sharded/W4", core.Options{Colors: 1, PreferStay: true, Workers: 4, Shard: core.ShardOn}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var res core.Result
+			for i := 0; i < b.N; i++ {
+				res = core.TabularGreedy(p, cfg.opt)
+			}
+			if res.Shards > 0 {
+				b.ReportMetric(float64(res.Shards), "components")
+			}
+		})
+	}
+}
+
 // --- ablations (DESIGN.md §7) ----------------------------------------------
 
 // BenchmarkAblationColors measures the cost of the TabularGreedy control

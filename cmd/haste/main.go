@@ -26,9 +26,23 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"haste/internal/core"
 	"haste/internal/experiments"
 	"haste/internal/report"
 )
+
+// parseShardMode maps the --shard flag onto core.ShardMode.
+func parseShardMode(s string) (core.ShardMode, error) {
+	switch s {
+	case "", "auto":
+		return core.ShardAuto, nil
+	case "on":
+		return core.ShardOn, nil
+	case "off":
+		return core.ShardOff, nil
+	}
+	return core.ShardAuto, fmt.Errorf("unknown --shard %q (auto, on, off)", s)
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -72,6 +86,7 @@ func runCmd(args []string) error {
 	seed := fs.Int64("seed", 1, "base RNG seed")
 	samples := fs.Int("samples", 0, "Monte-Carlo color samples for C>1 (0 = default)")
 	workers := fs.Int("workers", 0, "scheduler worker pool bound (0 = one per CPU, 1 = sequential; figures are identical either way)")
+	shard := fs.String("shard", "auto", "shard-and-stitch mode: auto, on, or off (figures are identical either way)")
 	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
 	format := fs.String("format", "", "output format: text (default), csv, or markdown")
 	outDir := fs.String("out", "", "write each experiment to <dir>/<id>.<ext> instead of stdout")
@@ -107,7 +122,11 @@ func runCmd(args []string) error {
 			}
 		}()
 	}
-	opts := experiments.Options{Reps: *reps, Seed: *seed, Samples: *samples, Quick: *quick, Workers: *workers}
+	shardMode, err := parseShardMode(*shard)
+	if err != nil {
+		return err
+	}
+	opts := experiments.Options{Reps: *reps, Seed: *seed, Samples: *samples, Quick: *quick, Workers: *workers, Shard: shardMode}
 	fmtName := *format
 	if fmtName == "" {
 		fmtName = "text"
@@ -198,6 +217,8 @@ flags for run:
   --samples N     Monte-Carlo color samples for C>1 (0 = algorithm default)
   --workers N     scheduler worker pool bound (0 = one per CPU, 1 = sequential;
                   every value regenerates bit-identical figures)
+  --shard M       shard-and-stitch mode: auto (default), on, or off
+                  (every mode regenerates bit-identical figures)
   --format F      text (default), csv, or markdown
   --out DIR       write each experiment to DIR/<id>.<ext>
   --summary       append the paper-style headline claims

@@ -1,0 +1,38 @@
+package haste_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"haste/internal/core"
+	"haste/internal/workload"
+)
+
+// TestFleetScaleShardedEquivalence pins the beyond-paper-scale headline:
+// on the clustered 10⁴-task fleet (the BenchmarkFleetScaleSharded
+// instance) the shard-and-stitch run reproduces the monolithic relaxed
+// utility exactly, one schedule per schedulable component. The general
+// contract — bit-identical assigned cells, -1 padding past each
+// component's horizon — is proven by internal/difftest's sharded sweep;
+// this test keeps the large-scale path itself exercised by tier-1.
+func TestFleetScaleShardedEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10⁴-task compile is ~0.5s; skipped under -short")
+	}
+	in := workload.FleetScale(10_000).Generate(rand.New(rand.NewSource(1)))
+	p, err := core.NewProblem(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono := core.TabularGreedy(p, core.Options{Colors: 1, PreferStay: true, Workers: 1, Shard: core.ShardOff})
+	sharded := core.TabularGreedy(p, core.Options{Colors: 1, PreferStay: true, Workers: 4, Shard: core.ShardOn})
+	if sharded.RUtility != mono.RUtility {
+		t.Fatalf("sharded utility %v != monolithic %v", sharded.RUtility, mono.RUtility)
+	}
+	if want := p.SchedulableComponents(); sharded.Shards != want {
+		t.Fatalf("shards = %d, want %d schedulable components", sharded.Shards, want)
+	}
+	if sharded.Shards < 200 {
+		t.Fatalf("only %d schedulable components — fleet workload drifted", sharded.Shards)
+	}
+}

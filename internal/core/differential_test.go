@@ -30,6 +30,25 @@ func TestTabularGreedyDifferentialSweep(t *testing.T) {
 	}
 }
 
+// TestShardedDifferentialSweep is the shard-and-stitch acceptance suite:
+// for every clustered multi-component and fully connected case, a
+// ShardOn run of every execution variant (workers, lazy, threshold,
+// generic kernel, instrumented scan) reproduces the monolithic Workers=1
+// reference under the stitching contract — bit-identical on connected
+// instances, exact utility equality plus per-component schedule identity
+// on multi-component ones. See difftest.RunSharded.
+func TestShardedDifferentialSweep(t *testing.T) {
+	for _, c := range difftest.ShardSweep() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			if err := difftest.RunSharded(c, difftest.Variants()); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
 // TestTabularGreedyWorkerCountIrrelevant drives one mid-size C > 1 case
 // through a denser worker-count grid than the standard variant set,
 // including counts far above both GOMAXPROCS and the sample count.

@@ -67,8 +67,26 @@ type Options struct {
 	// the counters live on the per-sample states and the parallel
 	// policy-fan would race on them, so runs with Workers > 1 ignore the
 	// flag. Instrumented runs take the per-state scan instead of the
-	// batched one — same results, slightly slower, exact counts.
+	// batched one — same results, slightly slower, exact counts. Sharded
+	// runs keep the counters at any worker count (each component runs
+	// sequentially) and aggregate them in canonical component order.
 	KernelStats bool
+
+	// Shard selects the shard-and-stitch decomposition (shard.go): the
+	// connected components of the charger–task coverage graph are exactly
+	// independent subproblems, scheduled concurrently under the Workers
+	// bound and stitched back together. ShardAuto (the default) turns it
+	// on when the instance has at least ShardThreshold schedulable
+	// components. The stitched result has exactly the monolithic utility
+	// and agrees with the monolithic schedule on every cell it assigns;
+	// cells past a component's own horizon stay -1 (the monolithic run
+	// fills them with zero-gain assignments). internal/difftest's sharded
+	// sweep enforces the equivalence.
+	Shard ShardMode
+
+	// ShardThreshold is the schedulable-component count at which
+	// ShardAuto shards; 0 selects DefaultShardThreshold.
+	ShardThreshold int
 }
 
 // DefaultParallelThreshold is the Options.ParallelThreshold used when the
@@ -107,10 +125,23 @@ func (o Options) normalize() Options {
 	if o.ParallelThreshold <= 0 {
 		o.ParallelThreshold = DefaultParallelThreshold
 	}
-	if o.Workers > 1 {
-		o.KernelStats = false // counters would race under the policy fan
+	if o.ShardThreshold <= 0 {
+		o.ShardThreshold = DefaultShardThreshold
 	}
 	return o
+}
+
+// useShards decides whether a normalized run takes the shard-and-stitch
+// path. ShardAuto asks the problem for its (cached) component count.
+func (o Options) useShards(p *Problem) bool {
+	switch o.Shard {
+	case ShardOff:
+		return false
+	case ShardOn:
+		return true
+	default:
+		return p.SchedulableComponents() >= o.ShardThreshold
+	}
 }
 
 // Result is the output of an offline scheduling run.
@@ -121,6 +152,10 @@ type Result struct {
 	// Kernel aggregates the evaluation kernel's work counters over all
 	// sample states when Options.KernelStats was set (zero otherwise).
 	Kernel KernelStats
+
+	// Shards is the number of independently scheduled components when the
+	// run took the shard-and-stitch path (0 for a monolithic run).
+	Shards int
 }
 
 // TabularGreedy is Algorithm 2, the centralized offline algorithm for
@@ -157,13 +192,28 @@ func TabularGreedyCtx(ctx context.Context, p *Problem, opt Options) (Result, err
 	return res, nil
 }
 
-// tabularGreedy is the shared body: done, when non-nil, aborts the run at
+// tabularGreedy dispatches a run: done, when non-nil, aborts the run at
 // the next stage boundary (ok = false). The cancellation probe is a
 // non-blocking channel read per partition step — it cannot reorder or
 // change any floating-point work, so cancelled-then-retried runs and
 // never-cancelled runs stay on the canonical schedule.
 func tabularGreedy(done <-chan struct{}, p *Problem, opt Options) (Result, bool) {
 	opt = opt.normalize()
+	if opt.useShards(p) {
+		return shardedGreedy(done, p, opt)
+	}
+	return monolithicGreedy(done, p, opt, nil)
+}
+
+// monolithicGreedy is the classic single-problem body of Algorithm 2.
+// opt must already be normalized. plan, when non-nil, supplies every
+// random draw of the run (see colorPlan); the sharded path uses it to
+// hand each component its slice of the globally drawn color tables, and
+// a nil plan draws from opt.Rng exactly as before.
+func monolithicGreedy(done <-chan struct{}, p *Problem, opt Options, plan *colorPlan) (Result, bool) {
+	if opt.Workers > 1 {
+		opt.KernelStats = false // counters would race under the policy fan
+	}
 	n, K, C, N := len(p.In.Chargers), p.K, opt.Colors, opt.Samples
 
 	sched := NewSchedule(n, K)
@@ -176,10 +226,15 @@ func tabularGreedy(done <-chan struct{}, p *Problem, opt Options) (Result, bool)
 	// consecutive bytes instead of striding across N sample vectors. The
 	// draws stay sample-major — the exact RNG consumption order of the
 	// original layout, so schedules are unchanged.
-	colorOf := make([]uint8, N*n*K)
-	for s := 0; s < N; s++ {
-		for idx := 0; idx < n*K; idx++ {
-			colorOf[idx*N+s] = uint8(opt.Rng.Intn(C))
+	var colorOf []uint8
+	if plan != nil {
+		colorOf = plan.colorOf
+	} else {
+		colorOf = make([]uint8, N*n*K)
+		for s := 0; s < N; s++ {
+			for idx := 0; idx < n*K; idx++ {
+				colorOf[idx*N+s] = uint8(opt.Rng.Intn(C))
+			}
 		}
 	}
 
@@ -242,7 +297,12 @@ func tabularGreedy(done <-chan struct{}, p *Problem, opt Options) (Result, bool)
 	// Line 6–8 of Algorithm 2: sample one color per partition.
 	for i := 0; i < n; i++ {
 		for k := 0; k < K; k++ {
-			c := opt.Rng.Intn(C)
+			var c int
+			if plan != nil {
+				c = int(plan.final[i*K+k])
+			} else {
+				c = opt.Rng.Intn(C)
+			}
 			sched.Policy[i][k] = int(q[i][k*C+c])
 		}
 	}

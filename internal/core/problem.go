@@ -43,6 +43,17 @@ type Problem struct {
 	// cancellation tests) assert it returns to its baseline.
 	statePool sync.Pool
 	statesOut atomic.Int64
+
+	// Shard-and-stitch caches (shard.go): the coverage graph's connected
+	// components and their compiled sub-Problems, each computed at most
+	// once per Problem. subs is an atomic pointer so StatesInUse can
+	// aggregate sub-problem balances while another run is compiling them.
+	compsOnce   sync.Once
+	comps       []Component
+	schedulable int
+
+	subsOnce sync.Once
+	subs     atomic.Pointer[[]*Problem]
 }
 
 // NewProblem validates the instance, extracts the dominant task sets of

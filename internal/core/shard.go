@@ -1,0 +1,337 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"haste/internal/model"
+)
+
+// This file is the shard-and-stitch decomposition: the charging model is
+// strictly local (P_r = 0 beyond the radius D), so the charger–task
+// coverage graph of a large field decomposes into connected components
+// that are exactly independent subproblems under the partition matroid —
+// no policy of a charger in one component can move a single joule into
+// another component. The decomposer finds the components by walking the
+// dominant policies' cover lists, compiles each schedulable component as
+// an independent sub-Problem, runs the monolithic greedy on every
+// component (concurrently, bounded by Options.Workers), and stitches the
+// per-component schedules back together with global indices restored.
+//
+// Equivalence contract (enforced by internal/difftest's sharded sweep):
+//
+//   - The stitched utility is EXACTLY equal to the monolithic RUtility,
+//     and every cell the sharded run assigns is identical to the
+//     monolithic run's cell.
+//   - Cells the sharded run leaves at -1 are exactly the padding slots
+//     past a component's own horizon (and the rows of chargers whose
+//     component has no tasks). There the monolithic run assigns policies
+//     too, but every such assignment has marginal gain exactly +0.0
+//     (every task the charger can reach has ended), so it changes
+//     neither energies nor the objective. The switching-delay-aware
+//     simulation yields the exact same utility as well — a padding-cell
+//     policy delivers zero energy whether or not a switch precedes it —
+//     though the simulated switch COUNT can differ at Colors > 1, where
+//     the monolithic final color sampling may hop between zero-gain
+//     policies in the padding region (the -1 padding never switches, so
+//     the sharded count is never higher).
+//   - On a single-component instance covering all chargers and tasks the
+//     stitched result is bit-identical to the monolithic one, schedule
+//     cells and utility alike.
+//
+// The key mechanism behind cell-for-cell identity at Colors > 1 is the
+// colorPlan: the sharded runner draws the full Monte-Carlo color table
+// and the final color samples from Options.Rng in exactly the monolithic
+// consumption order, then hands every component the slices belonging to
+// its chargers. Each component then performs, on its own tasks, exactly
+// the subsequence of greedy selections and state updates the monolithic
+// run performs on them — selections for chargers of other components
+// cannot touch this component's task energies, and the monolithic
+// iteration order (color-major, then slot, then charger) restricts to
+// the component's own iteration order.
+
+// ShardMode selects whether TabularGreedy decomposes the instance into
+// connected components of the charger–task coverage graph and schedules
+// them independently.
+type ShardMode int
+
+const (
+	// ShardAuto (the zero value) shards when the instance decomposes
+	// into at least Options.ShardThreshold schedulable components.
+	ShardAuto ShardMode = iota
+	// ShardOff always runs the monolithic scheduler.
+	ShardOff
+	// ShardOn always takes the shard-and-stitch path, even on a single
+	// component (where it is bit-identical to the monolithic run).
+	ShardOn
+)
+
+// DefaultShardThreshold is the component count at which ShardAuto turns
+// sharding on. Below it the decomposition buys little (the components'
+// compiled kernels largely duplicate the monolithic one) and the
+// monolithic path avoids the sub-Problem compilation entirely.
+const DefaultShardThreshold = 4
+
+// Component is one connected component of the charger–task coverage
+// graph: charger i and task j are connected when some dominant policy of
+// charger i covers task j (equivalently, when the pair is chargeable —
+// every chargeable task appears in at least one dominant policy). Both
+// index lists hold original instance indices in ascending order.
+// Components are ordered by their smallest member (chargers before
+// tasks), so the decomposition is canonical for a given instance.
+type Component struct {
+	Chargers []int
+	Tasks    []int
+}
+
+// Components returns the connected components of the problem's coverage
+// graph. Tasks no charger can reach and chargers with no chargeable task
+// form singleton components. The result is computed once and cached; the
+// returned slice must not be mutated.
+func (p *Problem) Components() []Component {
+	p.compsOnce.Do(p.computeComponents)
+	return p.comps
+}
+
+// SchedulableComponents returns the number of components with at least
+// one charger and one task — the components the sharded scheduler
+// actually runs. ShardAuto compares this count against the threshold.
+func (p *Problem) SchedulableComponents() int {
+	p.compsOnce.Do(p.computeComponents)
+	return p.schedulable
+}
+
+func (p *Problem) computeComponents() {
+	n, m := len(p.In.Chargers), len(p.In.Tasks)
+	// Union-find over n+m nodes (task j is node n+j), union-by-minimum so
+	// every root is its component's smallest member.
+	parent := make([]int32, n+m)
+	for v := range parent {
+		parent[v] = int32(v)
+	}
+	find := func(v int32) int32 {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]] // path halving
+			v = parent[v]
+		}
+		return v
+	}
+	for i, g := range p.Gamma {
+		for _, pol := range g {
+			for _, j := range pol.Covers {
+				a, b := find(int32(i)), find(int32(n+j))
+				if a == b {
+					continue
+				}
+				if a < b {
+					parent[b] = a
+				} else {
+					parent[a] = b
+				}
+			}
+		}
+	}
+	index := make(map[int32]int)
+	var comps []Component
+	for v := 0; v < n+m; v++ {
+		r := find(int32(v))
+		ci, ok := index[r]
+		if !ok {
+			ci = len(comps)
+			index[r] = ci
+			comps = append(comps, Component{})
+		}
+		if v < n {
+			comps[ci].Chargers = append(comps[ci].Chargers, v)
+		} else {
+			comps[ci].Tasks = append(comps[ci].Tasks, v-n)
+		}
+	}
+	sched := 0
+	for _, c := range comps {
+		if len(c.Chargers) > 0 && len(c.Tasks) > 0 {
+			sched++
+		}
+	}
+	p.comps, p.schedulable = comps, sched
+}
+
+// subProblems compiles (once, cached) an independent sub-Problem for
+// every schedulable component; unschedulable components get nil. Each
+// sub-instance keeps the component's chargers and tasks in their
+// original relative order with densely renumbered IDs, so dominant
+// extraction reproduces exactly the global Gamma rows of the component's
+// chargers (policy indices included) and the compiled kernel reproduces
+// their cover entries bit for bit. Sub-Problems inherit the parent's
+// kernel choice (SetFlatKernel) as of their compilation.
+func (p *Problem) subProblems() []*Problem {
+	p.subsOnce.Do(func() {
+		comps := p.Components()
+		subs := make([]*Problem, len(comps))
+		for ci, comp := range comps {
+			if len(comp.Chargers) == 0 || len(comp.Tasks) == 0 {
+				continue
+			}
+			sub, err := NewProblem(p.subInstance(comp))
+			if err != nil {
+				// A component of a valid instance satisfies everything
+				// Validate checks (dense renumbered IDs, same params,
+				// untouched task fields), so this cannot happen.
+				panic(fmt.Sprintf("core: component sub-problem failed to compile: %v", err))
+			}
+			sub.SetFlatKernel(p.kern.linear)
+			subs[ci] = sub
+		}
+		p.subs.Store(&subs)
+	})
+	return *p.subs.Load()
+}
+
+func (p *Problem) subInstance(comp Component) *model.Instance {
+	in := &model.Instance{Params: p.In.Params, Utility: p.In.Utility}
+	in.Chargers = make([]model.Charger, len(comp.Chargers))
+	for li, gi := range comp.Chargers {
+		in.Chargers[li] = p.In.Chargers[gi]
+		in.Chargers[li].ID = li
+	}
+	in.Tasks = make([]model.Task, len(comp.Tasks))
+	for lj, gj := range comp.Tasks {
+		in.Tasks[lj] = p.In.Tasks[gj]
+		in.Tasks[lj].ID = lj
+	}
+	return in
+}
+
+// colorPlan fixes every random draw of a monolithic greedy run up front:
+// colorOf is the partition-major Monte-Carlo color table and final the
+// per-partition color sampled at the end (Algorithm 2 line 6–8). A run
+// handed a plan consumes no randomness from Options.Rng at all, which is
+// what lets concurrent component runs share one global plan without
+// contending on (or reordering draws from) a single rand.Rand.
+type colorPlan struct {
+	colorOf []uint8 // [(i*K+k)*N+s]: color of partition (i,k) in sample s
+	final   []int32 // [i*K+k]: color sampled for partition (i,k)
+}
+
+// shardedGreedy is the shard-and-stitch execution of Algorithm 2: draw
+// the global color plan, run every schedulable component's sub-Problem
+// under the plan's restriction to its chargers (at most Options.Workers
+// components in flight; each sub-run is sequential), stitch the
+// component schedules into the global index space, and evaluate the
+// stitched schedule on the original problem.
+func shardedGreedy(done <-chan struct{}, p *Problem, opt Options) (Result, bool) {
+	n, K, C, N := len(p.In.Chargers), p.K, opt.Colors, opt.Samples
+	sched := NewSchedule(n, K)
+	if K == 0 || n == 0 {
+		return Result{Schedule: sched}, true
+	}
+
+	comps := p.Components()
+	subs := p.subProblems()
+
+	// The plan is drawn in exactly the monolithic consumption order
+	// (samples-major color table, then the final colors), so a sharded
+	// run spends opt.Rng draws identically to the monolithic run.
+	plan := colorPlan{
+		colorOf: make([]uint8, N*n*K),
+		final:   make([]int32, n*K),
+	}
+	for s := 0; s < N; s++ {
+		for idx := 0; idx < n*K; idx++ {
+			plan.colorOf[idx*N+s] = uint8(opt.Rng.Intn(C))
+		}
+	}
+	for idx := range plan.final {
+		plan.final[idx] = int32(opt.Rng.Intn(C))
+	}
+
+	runnable := make([]int, 0, len(comps))
+	for ci, sub := range subs {
+		if sub != nil && sub.K > 0 {
+			runnable = append(runnable, ci)
+		}
+	}
+
+	results := make([]Result, len(comps))
+	oks := make([]bool, len(comps))
+	workers := opt.Workers
+	if workers > len(runnable) {
+		workers = len(runnable)
+	}
+	var next atomic.Int64
+	run := func() {
+		for {
+			idx := int(next.Add(1)) - 1
+			if idx >= len(runnable) {
+				return
+			}
+			ci := runnable[idx]
+			results[ci], oks[ci] = runComponent(done, p, subs[ci], comps[ci], opt, &plan)
+		}
+	}
+	if workers <= 1 {
+		run()
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(workers - 1)
+		for w := 1; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				run()
+			}()
+		}
+		run()
+		wg.Wait()
+	}
+
+	for _, ci := range runnable {
+		if !oks[ci] {
+			return Result{}, false // cancelled; every sub-run has released its states
+		}
+	}
+
+	res := Result{Schedule: sched, Shards: len(runnable)}
+	for _, ci := range runnable {
+		comp, sub := comps[ci], subs[ci]
+		for li, gi := range comp.Chargers {
+			copy(sched.Policy[gi][:sub.K], results[ci].Schedule.Policy[li])
+		}
+		// Aggregated in canonical component order, so instrumented runs
+		// report deterministic counters at any worker count.
+		res.Kernel.add(results[ci].Kernel)
+	}
+	// Re-evaluating the stitched schedule on the original problem — not
+	// summing per-component utilities — keeps the total bit-identical to
+	// the monolithic run: Evaluate accumulates contributions in the same
+	// (charger, slot) order, and the cells only the monolithic schedule
+	// assigns contribute exactly +0.0.
+	res.RUtility = Evaluate(p, sched)
+	return res, true
+}
+
+// runComponent slices the global color plan down to the component's
+// chargers and runs the monolithic greedy on its sub-Problem. The
+// sub-run is sequential (Workers = 1): sharding parallelizes across
+// components, and nesting the per-step policy fan inside component
+// goroutines would oversubscribe the pool.
+func runComponent(done <-chan struct{}, p, sub *Problem, comp Component, opt Options, plan *colorPlan) (Result, bool) {
+	K, N := p.K, opt.Samples
+	Kc := sub.K
+	subPlan := &colorPlan{
+		colorOf: make([]uint8, N*len(comp.Chargers)*Kc),
+		final:   make([]int32, len(comp.Chargers)*Kc),
+	}
+	for li, gi := range comp.Chargers {
+		for k := 0; k < Kc; k++ {
+			lidx, gidx := li*Kc+k, gi*K+k
+			copy(subPlan.colorOf[lidx*N:(lidx+1)*N], plan.colorOf[gidx*N:(gidx+1)*N])
+			subPlan.final[lidx] = plan.final[gidx]
+		}
+	}
+	subOpt := opt
+	subOpt.Workers = 1
+	subOpt.Shard = ShardOff
+	subOpt.Rng = nil // every draw comes from the plan
+	return monolithicGreedy(done, sub, subOpt, subPlan)
+}

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 
 	"haste/internal/core"
+	"haste/internal/geom"
 	"haste/internal/workload"
 )
 
@@ -28,6 +29,19 @@ type Case struct {
 	Colors   int // C
 	Samples  int // N (0 = the algorithm default 8·C)
 	Seed     int64
+
+	// Clusters > 0 switches the workload to clustered placement with that
+	// many isolated clusters (radius 6 discs, charging radius 8), so the
+	// instance decomposes into at least Clusters components — the
+	// multi-component shapes of the sharded sweep (shard.go).
+	Clusters int
+
+	// Connected inflates the charging radius past the field diagonal and
+	// opens the receive sector to the full circle, making every
+	// charger–task pair chargeable: the instance is one single connected
+	// component, the shape where a sharded run must be bit-identical to
+	// the monolithic one.
+	Connected bool
 }
 
 // Config returns the workload configuration of the case (paper defaults
@@ -39,6 +53,16 @@ func (c Case) Config() workload.Config {
 	cfg.DurationMin, cfg.DurationMax = c.Duration[0], c.Duration[1]
 	cfg.ReleaseMax = c.Releases
 	cfg.EnergyMin, cfg.EnergyMax = 1e3, 6e3
+	if c.Clusters > 0 {
+		cfg.Placement = workload.Clustered
+		cfg.NumClusters = c.Clusters
+		cfg.Params.Radius = 8
+		cfg.ClusterRadius = 6
+	}
+	if c.Connected {
+		cfg.Params.Radius = 2 * cfg.FieldSide // beyond the field diagonal
+		cfg.Params.ReceiveAngle = geom.TwoPi  // devices receive from anywhere
+	}
 	return cfg
 }
 

@@ -40,13 +40,18 @@ type Options struct {
 	// 0 = one worker per CPU, 1 = sequential. Any value produces the
 	// same figures bit-for-bit; only wall-clock time changes.
 	Workers int
+	// Shard selects the shard-and-stitch mode (core.Options.Shard). Like
+	// Workers, any value regenerates bit-identical figures — the paper's
+	// dense fields rarely decompose, so ShardAuto usually stays monolithic.
+	Shard core.ShardMode
 }
 
 // haste returns the TabularGreedy options for the given color count with
-// the run's Workers bound applied.
+// the run's Workers bound and Shard mode applied.
 func (o Options) haste(colors int) core.Options {
 	opt := core.DefaultOptions(colors)
 	opt.Workers = o.Workers
+	opt.Shard = o.Shard
 	return opt
 }
 
@@ -161,7 +166,7 @@ func offlineUtilities(in *model.Instance, o Options, seed int64) (utilities4, er
 	u.h1 = sim.Execute(p, r1.Schedule).Utility
 	r4 := core.TabularGreedy(p, core.Options{
 		Colors: 4, Samples: o.Samples, PreferStay: true,
-		Rng: rand.New(rand.NewSource(seed)), Workers: o.Workers,
+		Rng: rand.New(rand.NewSource(seed)), Workers: o.Workers, Shard: o.Shard,
 	})
 	u.h4 = sim.Execute(p, r4.Schedule).Utility
 	u.gu = sim.Execute(p, baseline.GreedyUtility(p)).Utility

@@ -24,6 +24,9 @@ type metrics struct {
 	inFlight  atomic.Int64 // schedule requests holding a worker slot
 	queued    atomic.Int64 // schedule requests waiting for a slot
 
+	shardedRuns     atomic.Int64 // completed runs that took the shard-and-stitch path
+	shardComponents atomic.Int64 // components scheduled across those runs (Σ Result.Shards)
+
 	mu       sync.Mutex
 	byStatus map[int]int64
 	kernel   core.KernelStats
@@ -56,6 +59,18 @@ func (m *metrics) recordLatency(d time.Duration) {
 	m.latSumUS.Add(d.Microseconds())
 }
 
+// recordShards counts a completed scheduling run's sharding: shards is
+// core.Result.Shards, 0 for monolithic runs (which leave both counters
+// untouched). shard_components_total therefore always reconciles with the
+// sum of the shards fields of all successful schedule responses.
+func (m *metrics) recordShards(shards int) {
+	if shards <= 0 {
+		return
+	}
+	m.shardedRuns.Add(1)
+	m.shardComponents.Add(int64(shards))
+}
+
 func (m *metrics) recordKernel(ks core.KernelStats) {
 	if ks == (core.KernelStats{}) {
 		return
@@ -83,6 +98,8 @@ type MetricsSnapshot struct {
 	UptimeSeconds float64          `json:"uptime_seconds"`
 	Requests      int64            `json:"requests_total"`
 	Scheduled     int64            `json:"scheduled_total"`
+	ShardedRuns   int64            `json:"sharded_runs_total"`
+	ShardComps    int64            `json:"shard_components_total"`
 	ByStatus      map[string]int64 `json:"requests_by_status"`
 	InFlight      int64            `json:"in_flight"`
 	Queued        int64            `json:"queued"`
@@ -97,6 +114,8 @@ func (m *metrics) snapshot(cache CacheStats, draining bool) MetricsSnapshot {
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Requests:      m.requests.Load(),
 		Scheduled:     m.scheduled.Load(),
+		ShardedRuns:   m.shardedRuns.Load(),
+		ShardComps:    m.shardComponents.Load(),
 		ByStatus:      make(map[string]int64),
 		InFlight:      m.inFlight.Load(),
 		Queued:        m.queued.Load(),

@@ -185,6 +185,13 @@ type scheduleRequest struct {
 
 	Lazy        bool `json:"lazy,omitempty"`         // core.Options.Lazy
 	KernelStats bool `json:"kernel_stats,omitempty"` // include kernel counters in the response
+
+	// Shard mirrors core.Options.Shard: omitted means ShardAuto (shard
+	// when the instance decomposes into enough independent components),
+	// true forces the shard-and-stitch path, false forces monolithic.
+	// Either way results obey the stitching contract, so clients toggling
+	// this see identical utilities.
+	Shard *bool `json:"shard,omitempty"`
 }
 
 // scheduleResponse is the success body.
@@ -196,6 +203,10 @@ type scheduleResponse struct {
 	RUtility     float64           `json:"r_utility"`
 	ElapsedMS    float64           `json:"elapsed_ms"`
 	Kernel       *core.KernelStats `json:"kernel,omitempty"`
+
+	// Shards is the number of independently scheduled components when the
+	// run took the shard-and-stitch path (omitted for monolithic runs).
+	Shards int `json:"shards,omitempty"`
 }
 
 // errorResponse is the body of every non-2xx response the service writes:
@@ -317,6 +328,13 @@ func (s *Server) schedule(w http.ResponseWriter, r *http.Request, t0 time.Time) 
 		Workers:     s.cfg.CoreWorkers,
 		KernelStats: req.KernelStats,
 	}
+	if req.Shard != nil {
+		if *req.Shard {
+			opt.Shard = core.ShardOn
+		} else {
+			opt.Shard = core.ShardOff
+		}
+	}
 	seed := req.Seed
 	if seed == 0 {
 		seed = 1
@@ -334,8 +352,10 @@ func (s *Server) schedule(w http.ResponseWriter, r *http.Request, t0 time.Time) 
 			fmt.Errorf("scheduling exceeded the %s request timeout", s.cfg.RequestTimeout)
 	}
 	s.met.recordKernel(res.Kernel)
+	s.met.recordShards(res.Shards)
 
 	resp := scheduleResponse{
+		Shards:       res.Shards,
 		InstanceHash: hash,
 		Cache:        "miss",
 		Slots:        res.Schedule.Slots(),

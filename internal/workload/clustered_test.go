@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// clusterOf mirrors the generator's assignment rule.
+func clusterOf(idx, clusters int) int { return idx % clusters }
+
+// TestClusteredIsolation: with the default spacing, any two points of
+// different clusters are farther apart than the charging radius — the
+// guarantee the shard-and-stitch difftests build on. Checked exactly on a
+// small instance (all cross-cluster pairs).
+func TestClusteredIsolation(t *testing.T) {
+	cfg := Default()
+	cfg.NumChargers = 12
+	cfg.NumTasks = 40
+	cfg.Placement = Clustered
+	cfg.NumClusters = 5
+	cfg.Params.Radius = 8
+	cfg.ClusterRadius = 6
+	in := cfg.Generate(rand.New(rand.NewSource(1)))
+
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	type member struct {
+		x, y    float64
+		cluster int
+	}
+	var pts []member
+	for i, c := range in.Chargers {
+		pts = append(pts, member{c.Pos.X, c.Pos.Y, clusterOf(i, cfg.NumClusters)})
+	}
+	for j, tk := range in.Tasks {
+		pts = append(pts, member{tk.Pos.X, tk.Pos.Y, clusterOf(j, cfg.NumClusters)})
+	}
+	for a := range pts {
+		for b := a + 1; b < len(pts); b++ {
+			if pts[a].cluster == pts[b].cluster {
+				continue
+			}
+			dx, dy := pts[a].x-pts[b].x, pts[a].y-pts[b].y
+			if d2 := dx*dx + dy*dy; d2 <= cfg.Params.Radius*cfg.Params.Radius {
+				t.Fatalf("cross-cluster pair %d/%d within charging radius: dist² = %v", a, b, d2)
+			}
+		}
+	}
+
+	// Points stay inside their cluster disc.
+	centers := cfg.clusterCenters()
+	for i, c := range in.Chargers {
+		ctr := centers[clusterOf(i, cfg.NumClusters)]
+		if c.Pos.Dist(ctr) > cfg.ClusterRadius*1.0000001 {
+			t.Fatalf("charger %d outside its cluster disc", i)
+		}
+	}
+}
+
+// TestClusteredSpacingOverride: an explicit ClusterSpacing is honored and
+// a deliberately tight spacing may merge clusters (no isolation claim),
+// while the derived default always isolates.
+func TestClusteredSpacingOverride(t *testing.T) {
+	cfg := Default()
+	cfg.NumChargers = 6
+	cfg.NumTasks = 12
+	cfg.Placement = Clustered
+	cfg.NumClusters = 3
+	cfg.ClusterRadius = 2
+	cfg.ClusterSpacing = 100
+	in := cfg.Generate(rand.New(rand.NewSource(2)))
+	// Spacing 100 with cluster radius 2: consecutive cluster members are
+	// at least 100-4 apart.
+	d := in.Chargers[0].Pos.Dist(in.Chargers[1].Pos)
+	if d < 90 {
+		t.Fatalf("explicit spacing ignored: inter-cluster charger distance %v", d)
+	}
+}
+
+// TestFleetScaleGeneratesValid: the beyond-paper-scale generator produces
+// valid instances at 10⁴ tasks and scales to 10⁶ tasks in reasonable time
+// (generation only — compiling a monolithic Problem at 10⁶ tasks is a
+// dense n×m table and is exactly what sharding exists to avoid).
+func TestFleetScaleGeneratesValid(t *testing.T) {
+	cfg := FleetScale(10_000)
+	if cfg.NumClusters != 250 || cfg.NumChargers != 1250 {
+		t.Fatalf("unexpected shape: %d clusters, %d chargers", cfg.NumClusters, cfg.NumChargers)
+	}
+	in := cfg.Generate(rand.New(rand.NewSource(3)))
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.Horizon() > 24 {
+		t.Fatalf("horizon %d, want ≤ 24 (releases ≤ 12, durations ≤ 12)", in.Horizon())
+	}
+
+	start := time.Now()
+	big := FleetScale(1_000_000).Generate(rand.New(rand.NewSource(4)))
+	elapsed := time.Since(start)
+	if len(big.Tasks) != 1_000_000 || len(big.Chargers) != 125_000 {
+		t.Fatalf("10⁶-task instance has %d tasks, %d chargers", len(big.Tasks), len(big.Chargers))
+	}
+	if elapsed > 30*time.Second {
+		t.Fatalf("10⁶-task generation took %v", elapsed)
+	}
+	// Spot-check isolation across clusters on a sample (the exact check is
+	// quadratic; TestClusteredIsolation does it exhaustively at small n).
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 2000; trial++ {
+		a, b := rng.Intn(len(big.Tasks)), rng.Intn(len(big.Chargers))
+		if clusterOf(a, 25000) == clusterOf(b, 25000) {
+			continue
+		}
+		if big.Chargers[b].Pos.Dist(big.Tasks[a].Pos) <= big.Params.Radius {
+			t.Fatalf("cross-cluster pair within radius at trial %d", trial)
+		}
+	}
+}

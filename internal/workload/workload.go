@@ -6,6 +6,7 @@
 package workload
 
 import (
+	"math"
 	"math/rand"
 
 	"haste/internal/geom"
@@ -21,6 +22,15 @@ const (
 	// Gaussian draws each coordinate from N(Mu, Sigma), clamped to the
 	// field (§7.5). Chargers remain uniform.
 	Gaussian
+	// Clustered places chargers AND tasks uniformly inside NumClusters
+	// discs of radius ClusterRadius laid out on a square grid whose
+	// center spacing guarantees that points of different clusters are
+	// farther apart than the charging radius — so the charger–task
+	// coverage graph decomposes into at least NumClusters independent
+	// components. This is the beyond-paper-scale workload the sharded
+	// scheduler (core.Options.Shard) is built for; FieldSide is ignored
+	// (the grid defines the field).
+	Clustered
 )
 
 // Config describes a workload. Durations and release times are in whole
@@ -50,6 +60,17 @@ type Config struct {
 	MuX, MuY         float64 // Gaussian mean (defaults to field center)
 	SigmaX, SigmaY   float64 // Gaussian std deviations
 	DeviceTowardBias float64 // probability a device faces the nearest charger (0 = uniform φ)
+
+	// Clustered placement. Charger i lands in cluster i % NumClusters and
+	// task j in cluster j % NumClusters, uniformly inside the cluster's
+	// disc. ClusterRadius defaults to Params.Radius; ClusterSpacing (the
+	// grid pitch between cluster centers) defaults to 2·ClusterRadius +
+	// 2·Params.Radius, the smallest spacing that provably isolates every
+	// cluster: two points of different clusters are then at least
+	// spacing − 2·ClusterRadius = 2·Params.Radius > Params.Radius apart.
+	NumClusters    int
+	ClusterRadius  float64
+	ClusterSpacing float64
 }
 
 // Default returns the paper's §7.1 setup: 50 m × 50 m field, n = 50
@@ -86,15 +107,50 @@ func SmallScale() Config {
 	return c
 }
 
+// FleetScale returns a beyond-paper-scale clustered workload of numTasks
+// tasks: ⌈numTasks/40⌉ isolated clusters of 5 chargers and ~40 tasks each
+// under the paper's testbed hardware constants (§8: α = 41.93,
+// β = 0.6428, D = 4 m, A_s = 60°, A_o = 120°). The coverage graph
+// decomposes into at least NumClusters independent components, so the
+// instance exercises the shard-and-stitch scheduler at 10⁴–10⁶ tasks —
+// scales where the paper's dense 50-charger field (D = 20 m on 50 m)
+// would stay one giant component. Requirements and windows are kept
+// small ([200, 800] J, 4–12 slots, releases ≤ 12) so the horizon stays
+// bounded (K ≤ 24) while n and m grow.
+func FleetScale(numTasks int) Config {
+	const tasksPerCluster = 40
+	clusters := (numTasks + tasksPerCluster - 1) / tasksPerCluster
+	if clusters < 1 {
+		clusters = 1
+	}
+	return Config{
+		NumChargers: clusters * 5,
+		NumTasks:    numTasks,
+		Params: model.Params{
+			Alpha: 41.93, Beta: 0.6428, Radius: 4,
+			ChargeAngle: geom.Deg(60), ReceiveAngle: geom.Deg(120),
+			SlotSeconds: 60, Rho: 1.0 / 12, Tau: 1,
+		},
+		EnergyMin: 200, EnergyMax: 800,
+		DurationMin: 4, DurationMax: 12,
+		ReleaseMax:    12,
+		Placement:     Clustered,
+		NumClusters:   clusters,
+		ClusterRadius: 3,
+	}
+}
+
 // Generate draws an instance from the configuration. The result always
 // passes model.Validate: durations are clamped to at least max(1, 2τ).
 func (c Config) Generate(rng *rand.Rand) *model.Instance {
 	in := &model.Instance{Params: c.Params}
+	centers := c.clusterCenters()
 	for i := 0; i < c.NumChargers; i++ {
-		in.Chargers = append(in.Chargers, model.Charger{
-			ID:  i,
-			Pos: geom.Point{X: rng.Float64() * c.FieldSide, Y: rng.Float64() * c.FieldSide},
-		})
+		pos := geom.Point{X: rng.Float64() * c.FieldSide, Y: rng.Float64() * c.FieldSide}
+		if centers != nil {
+			pos = clusterPoint(rng, centers[i%len(centers)], c.clusterRadius())
+		}
+		in.Chargers = append(in.Chargers, model.Charger{ID: i, Pos: pos})
 	}
 	w := c.Weight
 	if w == 0 && c.NumTasks > 0 {
@@ -113,7 +169,7 @@ func (c Config) Generate(rng *rand.Rand) *model.Instance {
 	}
 	arrival := 0.0
 	for j := 0; j < c.NumTasks; j++ {
-		pos := c.taskPos(rng)
+		pos := c.taskPos(rng, j, centers)
 		phi := rng.Float64() * geom.TwoPi
 		if c.DeviceTowardBias > 0 && rng.Float64() < c.DeviceTowardBias {
 			if nearest := c.nearestCharger(in, pos); nearest >= 0 {
@@ -142,18 +198,62 @@ func (c Config) Generate(rng *rand.Rand) *model.Instance {
 	return in
 }
 
-func (c Config) taskPos(rng *rand.Rand) geom.Point {
-	if c.Placement != Gaussian {
+func (c Config) taskPos(rng *rand.Rand, j int, centers []geom.Point) geom.Point {
+	switch c.Placement {
+	case Gaussian:
+		mx, my := c.MuX, c.MuY
+		if mx == 0 && my == 0 {
+			mx, my = c.FieldSide/2, c.FieldSide/2
+		}
+		return geom.Point{
+			X: clamp(rng.NormFloat64()*c.SigmaX+mx, 0, c.FieldSide),
+			Y: clamp(rng.NormFloat64()*c.SigmaY+my, 0, c.FieldSide),
+		}
+	case Clustered:
+		return clusterPoint(rng, centers[j%len(centers)], c.clusterRadius())
+	default:
 		return geom.Point{X: rng.Float64() * c.FieldSide, Y: rng.Float64() * c.FieldSide}
 	}
-	mx, my := c.MuX, c.MuY
-	if mx == 0 && my == 0 {
-		mx, my = c.FieldSide/2, c.FieldSide/2
+}
+
+func (c Config) clusterRadius() float64 {
+	if c.ClusterRadius > 0 {
+		return c.ClusterRadius
 	}
-	return geom.Point{
-		X: clamp(rng.NormFloat64()*c.SigmaX+mx, 0, c.FieldSide),
-		Y: clamp(rng.NormFloat64()*c.SigmaY+my, 0, c.FieldSide),
+	return c.Params.Radius
+}
+
+// clusterCenters lays the cluster centers on a ⌈√k⌉-wide square grid
+// (nil unless the placement is Clustered).
+func (c Config) clusterCenters() []geom.Point {
+	if c.Placement != Clustered {
+		return nil
 	}
+	k := c.NumClusters
+	if k < 1 {
+		k = 1
+	}
+	spacing := c.ClusterSpacing
+	if spacing <= 0 {
+		spacing = 2*c.clusterRadius() + 2*c.Params.Radius
+	}
+	side := int(math.Ceil(math.Sqrt(float64(k))))
+	centers := make([]geom.Point, k)
+	for idx := range centers {
+		row, col := idx/side, idx%side
+		centers[idx] = geom.Point{
+			X: (float64(col) + 0.5) * spacing,
+			Y: (float64(row) + 0.5) * spacing,
+		}
+	}
+	return centers
+}
+
+// clusterPoint draws uniformly from the disc around center.
+func clusterPoint(rng *rand.Rand, center geom.Point, radius float64) geom.Point {
+	r := radius * math.Sqrt(rng.Float64())
+	a := rng.Float64() * geom.TwoPi
+	return geom.Point{X: center.X + r*math.Cos(a), Y: center.Y + r*math.Sin(a)}
 }
 
 func (c Config) nearestCharger(in *model.Instance, pos geom.Point) int {

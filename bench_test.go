@@ -15,6 +15,7 @@ import (
 	"haste/internal/dominant"
 	"haste/internal/emr"
 	"haste/internal/experiments"
+	"haste/internal/model"
 	"haste/internal/online"
 	"haste/internal/opt"
 	"haste/internal/sim"
@@ -95,13 +96,38 @@ func BenchmarkDominantExtractAll(b *testing.B) {
 	}
 }
 
+// BenchmarkNewProblem measures the full compile — validation, grid-fed
+// sparse rows, dominant extraction, kernel — across three scales: the
+// paper's §7.1/Fig. 4 instance and the clustered fleet at 10⁴ and 10⁵
+// tasks. Run with -benchmem: bytes/op is the headline, since the sparse
+// rows replaced a dense n×m float64 table that would cost n·m·8 bytes
+// (212 MB at 10⁴, ~10 GB at 10⁵) before dominant extraction even starts.
+// BENCH_core.json's "compile" section records the numbers.
 func BenchmarkNewProblem(b *testing.B) {
-	in := workload.Default().Generate(rand.New(rand.NewSource(1)))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := core.NewProblem(in); err != nil {
-			b.Fatal(err)
-		}
+	for _, cfg := range []struct {
+		name string
+		gen  func() *model.Instance
+	}{
+		{"fig4", func() *model.Instance {
+			return workload.Default().Generate(rand.New(rand.NewSource(1)))
+		}},
+		{"fleet1e4", func() *model.Instance {
+			return workload.FleetScale(10_000).Generate(rand.New(rand.NewSource(1)))
+		}},
+		{"fleet1e5", func() *model.Instance {
+			return workload.FleetScale(100_000).Generate(rand.New(rand.NewSource(1)))
+		}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			in := cfg.gen()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewProblem(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -304,6 +330,23 @@ func BenchmarkFleetScaleSharded(b *testing.B) {
 			}
 		})
 	}
+	// The instance-direct path: decompose the raw instance and compile
+	// every component transiently inside the run — the 10⁶-task route,
+	// here measured at 10⁴ for comparability with the rows above (it
+	// includes per-component compilation, which the parent-Problem rows
+	// amortize away after their first iteration).
+	b.Run("stream/W1", func(b *testing.B) {
+		b.ReportAllocs()
+		var res core.Result
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = core.ScheduleSharded(in, core.Options{Colors: 1, PreferStay: true, Workers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(res.Shards), "components")
+	})
 }
 
 // --- ablations (DESIGN.md §7) ----------------------------------------------

@@ -67,14 +67,17 @@ func greedyUtility(p *core.Problem, online bool) core.Schedule {
 		for k := 0; k < p.K; k++ {
 			best, bestGain := 0, -1.0
 			for pol := range p.Gamma[i] {
+				// Compiled cover lists carry (task, Δe) pairs with Δe > 0;
+				// zero-energy covers contribute exactly 0 gain, so skipping
+				// them leaves every gain bitwise unchanged.
 				var gain float64
-				for _, j := range p.Gamma[i][pol].Covers {
+				for _, e := range p.CompiledCovers(i, pol) {
+					j := int(e.Task)
 					if !visibleAt(p, j, k, online) {
 						continue
 					}
 					t := &in.Tasks[j]
-					de := p.SlotEnergy(i, j)
-					gain += t.Weight * (u.Of(own[j]+de, t.Energy) - u.Of(own[j], t.Energy))
+					gain += t.Weight * (u.Of(own[j]+e.De, t.Energy) - u.Of(own[j], t.Energy))
 				}
 				if gain > bestGain {
 					best, bestGain = pol, gain
@@ -83,9 +86,9 @@ func greedyUtility(p *core.Problem, online bool) core.Schedule {
 				}
 			}
 			s.Policy[i][k] = best
-			for _, j := range p.Gamma[i][best].Covers {
-				if visibleAt(p, j, k, online) {
-					own[j] += p.SlotEnergy(i, j)
+			for _, e := range p.CompiledCovers(i, best) {
+				if visibleAt(p, int(e.Task), k, online) {
+					own[e.Task] += e.De
 				}
 			}
 			prev = best

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestDecomposeInstanceMatchesProblem: the instance-direct decomposition
+// (no Gamma, no kernel) yields exactly the components the compiled
+// Problem reports.
+func TestDecomposeInstanceMatchesProblem(t *testing.T) {
+	for seed := int64(901); seed < 905; seed++ {
+		p := shardProblem(t, seed, 6, 12, 40)
+		comps, err := DecomposeInstance(p.In)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !reflect.DeepEqual(comps, p.Components()) {
+			t.Fatalf("seed %d: DecomposeInstance diverges from Problem.Components", seed)
+		}
+	}
+}
+
+// TestScheduleShardedMatchesParent pins the equivalence contract of the
+// instance-direct fleet path against the parent-Problem sharded path:
+// identical seeds must produce bit-identical schedule cells and the same
+// shard count, and evaluating the fleet schedule on the compiled parent
+// problem must reproduce the parent run's RUtility exactly. The fleet
+// path's own RUtility (per-component sums in canonical order) is allowed
+// to differ only in the last ulps.
+func TestScheduleShardedMatchesParent(t *testing.T) {
+	for _, colors := range []int{1, 3} {
+		for seed := int64(901); seed < 904; seed++ {
+			p := shardProblem(t, seed, 6, 12, 40)
+
+			optParent := DefaultOptions(colors)
+			optParent.Rng = rand.New(rand.NewSource(seed))
+			optParent.Shard = ShardOn
+			optParent.Workers = 3
+			parent := TabularGreedy(p, optParent)
+
+			optFleet := DefaultOptions(colors)
+			optFleet.Rng = rand.New(rand.NewSource(seed))
+			optFleet.Workers = 3
+			fleet, err := ScheduleSharded(p.In, optFleet)
+			if err != nil {
+				t.Fatalf("colors=%d seed=%d: ScheduleSharded: %v", colors, seed, err)
+			}
+
+			if fleet.Shards != parent.Shards {
+				t.Fatalf("colors=%d seed=%d: shards %d != parent %d", colors, seed, fleet.Shards, parent.Shards)
+			}
+			if !reflect.DeepEqual(fleet.Schedule.Policy, parent.Schedule.Policy) {
+				t.Fatalf("colors=%d seed=%d: fleet schedule cells diverge from parent sharded run", colors, seed)
+			}
+			if got := Evaluate(p, fleet.Schedule); got != parent.RUtility {
+				t.Fatalf("colors=%d seed=%d: Evaluate(fleet schedule) = %.17g, parent RUtility = %.17g",
+					colors, seed, got, parent.RUtility)
+			}
+			if diff := math.Abs(fleet.RUtility - parent.RUtility); diff > 1e-9*math.Max(1, parent.RUtility) {
+				t.Fatalf("colors=%d seed=%d: fleet RUtility %.17g vs parent %.17g (diff %g)",
+					colors, seed, fleet.RUtility, parent.RUtility, diff)
+			}
+		}
+	}
+}
+
+// TestScheduleShardedDegenerate: empty and taskless instances return an
+// empty schedule without error.
+func TestScheduleShardedDegenerate(t *testing.T) {
+	p := shardProblem(t, 901, 2, 4, 8)
+	in := *p.In
+	in.Tasks = nil
+	res, err := ScheduleSharded(&in, DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 0 || res.RUtility != 0 {
+		t.Fatalf("taskless instance: got %d shards, utility %g", res.Shards, res.RUtility)
+	}
+}

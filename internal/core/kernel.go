@@ -123,7 +123,7 @@ func compileKernel(p *Problem) kernel {
 		nPols += len(g)
 		for _, pol := range g {
 			for _, j := range pol.Covers {
-				if p.slotEnergy[i][j] != 0 {
+				if p.SlotEnergy(i, j) != 0 {
 					total++
 				}
 			}
@@ -139,7 +139,7 @@ func compileKernel(p *Problem) kernel {
 			start := len(arena)
 			var lo, hi int32
 			for _, j := range pol.Covers {
-				de := p.slotEnergy[i][j]
+				de := p.SlotEnergy(i, j)
 				if de == 0 {
 					continue
 				}

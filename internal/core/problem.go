@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"haste/internal/dominant"
+	"haste/internal/geom"
 	"haste/internal/model"
 )
 
@@ -29,9 +30,18 @@ type Problem struct {
 	Gamma [][]dominant.Policy // Γ_i for every charger
 	K     int                 // number of time slots spanned by the tasks
 
-	// slotEnergy[i][j] = P_r(s_i, o_j)·T_s: energy task j harvests during
-	// one full slot in which charger i covers it. Zero if not chargeable.
-	slotEnergy [][]float64
+	// rows[i] is charger i's sparse slot-energy row: one CoverEntry per
+	// chargeable task, ascending by task index, sliced out of a shared
+	// arena. Entry j holds P_r(s_i, o_j)·T_s — the energy task j harvests
+	// during one full slot in which charger i covers it. Pairs that are
+	// not chargeable are simply absent (SlotEnergy reports 0 for them);
+	// chargeable pairs whose anisotropic receive gain is exactly zero are
+	// kept with De == 0, so the rows carry precisely the coverage
+	// relation dominant extraction sees. This replaced the dense n×m
+	// table, whose O(n·m) memory (~1 TB at 10⁶ tasks) was the compile
+	// wall: the charging model is strictly local, so row lengths scale
+	// with the tasks within radius D, not with m.
+	rows [][]CoverEntry
 
 	// kern is the flat evaluation kernel (kernel.go): compiled cover
 	// lists, SoA task data and slot windows the hot marginal loops run on.
@@ -56,38 +66,106 @@ type Problem struct {
 	subs     atomic.Pointer[[]*Problem]
 }
 
-// NewProblem validates the instance, extracts the dominant task sets of
-// every charger and precomputes the power matrix.
+// NewProblem validates the instance, builds the sparse slot-energy rows
+// through a spatial grid index over the tasks, extracts the dominant
+// task sets of every charger from its row's candidate set, and compiles
+// the flat evaluation kernel. The whole compile is O((n+m)·density) in
+// time and memory — density being the tasks within radius D of a
+// charger — instead of the dense all-pairs O(n·m); the resulting Gamma,
+// kernel and every published energy are bit-identical to the dense-era
+// compile (the grid feeds dominant extraction the chargeable tasks in
+// the same ascending order the full scan did).
 func NewProblem(in *model.Instance) (*Problem, error) {
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	p := &Problem{
-		In:    in,
-		Gamma: dominant.ExtractAll(in),
-		K:     in.Horizon(),
+		In:   in,
+		K:    in.Horizon(),
+		rows: chargeableRows(in),
 	}
-	p.slotEnergy = make([][]float64, len(in.Chargers))
-	for i, c := range in.Chargers {
-		row := make([]float64, len(in.Tasks))
-		for j, t := range in.Tasks {
-			if in.Params.Chargeable(c, t) {
-				pw := in.Params.PowerBetween(c.Pos, t.Pos)
-				if in.Params.AnisotropicGain {
-					pw *= in.Params.ReceiveGain(c, t)
-				}
-				row[j] = pw * in.Params.SlotSeconds
-			}
+	p.Gamma = make([][]dominant.Policy, len(in.Chargers))
+	var ids []int // candidate buffer, reused across chargers
+	for i := range in.Chargers {
+		ids = ids[:0]
+		for _, e := range p.rows[i] {
+			ids = append(ids, int(e.Task))
 		}
-		p.slotEnergy[i] = row
+		p.Gamma[i] = dominant.ExtractSubset(in, i, ids)
 	}
 	p.kern = compileKernel(p)
 	return p, nil
 }
 
+// chargeableRows builds the per-charger sparse slot-energy rows: for
+// every charger, the grid index proposes the tasks within one cell (≥ D)
+// of it, the exact Chargeable predicate filters them, and the survivors
+// get their per-slot energy — the same expression, evaluated on the same
+// (charger, task) pairs, as the dense-era table. One arena backs all
+// rows; offsets are resolved after the arena stops growing.
+func chargeableRows(in *model.Instance) [][]CoverEntry {
+	n := len(in.Chargers)
+	rows := make([][]CoverEntry, n)
+	if len(in.Tasks) == 0 {
+		return rows
+	}
+	pts := make([]geom.Point, len(in.Tasks))
+	for j := range in.Tasks {
+		pts[j] = in.Tasks[j].Pos
+	}
+	grid := geom.NewGridIndex(pts, in.Params.Radius)
+	offs := make([]int, n+1)
+	var arena []CoverEntry
+	var buf []int32
+	for i := range in.Chargers {
+		c := in.Chargers[i]
+		buf = grid.Candidates(c.Pos, buf[:0])
+		for _, j := range buf {
+			t := in.Tasks[j]
+			if !in.Params.Chargeable(c, t) {
+				continue
+			}
+			pw := in.Params.PowerBetween(c.Pos, t.Pos)
+			if in.Params.AnisotropicGain {
+				pw *= in.Params.ReceiveGain(c, t)
+			}
+			arena = append(arena, CoverEntry{Task: j, De: pw * in.Params.SlotSeconds})
+		}
+		offs[i+1] = len(arena)
+	}
+	for i := range rows {
+		rows[i] = arena[offs[i]:offs[i+1]:offs[i+1]]
+	}
+	return rows
+}
+
 // SlotEnergy returns the energy task j harvests from charger i over one
-// full covered slot (0 when the pair is not chargeable).
-func (p *Problem) SlotEnergy(i, j int) float64 { return p.slotEnergy[i][j] }
+// full covered slot (0 when the pair is not chargeable). The lookup is a
+// binary search of charger i's sparse row — O(log row length), where the
+// row holds only the tasks within charging radius of charger i.
+func (p *Problem) SlotEnergy(i, j int) float64 {
+	row := p.rows[i]
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(row[mid].Task) < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(row) && int(row[lo].Task) == j {
+		return row[lo].De
+	}
+	return 0
+}
+
+// ChargerRow returns charger i's sparse slot-energy row: one entry per
+// chargeable task, ascending by task index. Unlike compiled policy cover
+// lists, a row entry's De may be exactly 0 (a chargeable pair whose
+// anisotropic receive gain vanishes) — filter De > 0 when only energy
+// flow matters. The returned slice is shared; callers must not mutate it.
+func (p *Problem) ChargerRow(i int) []CoverEntry { return p.rows[i] }
 
 // Schedule assigns each charger one policy index per time slot:
 // Policy[i][k] indexes into Gamma[i]; -1 means unassigned (the charger
@@ -248,7 +326,7 @@ func (es *EnergyState) marginalGeneric(i, k, pol int) float64 {
 		if !t.ActiveAt(k) {
 			continue
 		}
-		de := es.p.slotEnergy[i][j]
+		de := es.p.SlotEnergy(i, j)
 		if de == 0 {
 			continue
 		}
@@ -274,7 +352,7 @@ func (es *EnergyState) marginalUpperGeneric(i, k, pol int) (gain, upper float64)
 	u := es.p.In.U()
 	for _, j := range es.p.Gamma[i][pol].Covers {
 		t := &es.p.In.Tasks[j]
-		de := es.p.slotEnergy[i][j]
+		de := es.p.SlotEnergy(i, j)
 		if de == 0 {
 			continue
 		}
@@ -305,7 +383,7 @@ func (es *EnergyState) marginalScaledGeneric(i, k, pol int, frac float64) float6
 		if !t.ActiveAt(k) {
 			continue
 		}
-		de := es.p.slotEnergy[i][j] * frac
+		de := es.p.SlotEnergy(i, j) * frac
 		if de == 0 {
 			continue
 		}
@@ -336,7 +414,7 @@ func (es *EnergyState) applyScaledGeneric(i, k, pol int, frac float64) float64 {
 		if !t.ActiveAt(k) {
 			continue
 		}
-		de := es.p.slotEnergy[i][j] * frac
+		de := es.p.SlotEnergy(i, j) * frac
 		if de == 0 {
 			continue
 		}

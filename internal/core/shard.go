@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 
@@ -103,7 +104,18 @@ func (p *Problem) SchedulableComponents() int {
 }
 
 func (p *Problem) computeComponents() {
-	n, m := len(p.In.Chargers), len(p.In.Tasks)
+	p.comps, p.schedulable = coverageComponents(len(p.In.Chargers), len(p.In.Tasks), p.rows)
+}
+
+// coverageComponents finds the connected components of the coverage graph
+// straight from the sparse chargeable rows: charger i and task j are
+// adjacent iff j appears in rows[i]. Rows carry exactly the chargeable
+// relation (zero-energy chargeable pairs included), which is the same edge
+// set the dominant policies' cover lists induce, so components computed
+// here are identical to the Gamma-walk of earlier revisions — and
+// available without compiling policies or a kernel at all, which is what
+// lets ScheduleSharded decompose a raw instance before any compilation.
+func coverageComponents(n, m int, rows [][]CoverEntry) ([]Component, int) {
 	// Union-find over n+m nodes (task j is node n+j), union-by-minimum so
 	// every root is its component's smallest member.
 	parent := make([]int32, n+m)
@@ -117,18 +129,16 @@ func (p *Problem) computeComponents() {
 		}
 		return v
 	}
-	for i, g := range p.Gamma {
-		for _, pol := range g {
-			for _, j := range pol.Covers {
-				a, b := find(int32(i)), find(int32(n+j))
-				if a == b {
-					continue
-				}
-				if a < b {
-					parent[b] = a
-				} else {
-					parent[a] = b
-				}
+	for i, row := range rows {
+		for _, e := range row {
+			a, b := find(int32(i)), find(int32(n)+e.Task)
+			if a == b {
+				continue
+			}
+			if a < b {
+				parent[b] = a
+			} else {
+				parent[a] = b
 			}
 		}
 	}
@@ -154,7 +164,7 @@ func (p *Problem) computeComponents() {
 			sched++
 		}
 	}
-	p.comps, p.schedulable = comps, sched
+	return comps, sched
 }
 
 // subProblems compiles (once, cached) an independent sub-Problem for
@@ -173,7 +183,7 @@ func (p *Problem) subProblems() []*Problem {
 			if len(comp.Chargers) == 0 || len(comp.Tasks) == 0 {
 				continue
 			}
-			sub, err := NewProblem(p.subInstance(comp))
+			sub, err := NewProblem(sliceInstance(p.In, comp))
 			if err != nil {
 				// A component of a valid instance satisfies everything
 				// Validate checks (dense renumbered IDs, same params,
@@ -188,16 +198,19 @@ func (p *Problem) subProblems() []*Problem {
 	return *p.subs.Load()
 }
 
-func (p *Problem) subInstance(comp Component) *model.Instance {
-	in := &model.Instance{Params: p.In.Params, Utility: p.In.Utility}
+// sliceInstance extracts a component's standalone sub-instance: the
+// component's chargers and tasks in their original relative order with
+// densely renumbered IDs, sharing the parent's params and utility.
+func sliceInstance(parent *model.Instance, comp Component) *model.Instance {
+	in := &model.Instance{Params: parent.Params, Utility: parent.Utility}
 	in.Chargers = make([]model.Charger, len(comp.Chargers))
 	for li, gi := range comp.Chargers {
-		in.Chargers[li] = p.In.Chargers[gi]
+		in.Chargers[li] = parent.Chargers[gi]
 		in.Chargers[li].ID = li
 	}
 	in.Tasks = make([]model.Task, len(comp.Tasks))
 	for lj, gj := range comp.Tasks {
-		in.Tasks[lj] = p.In.Tasks[gj]
+		in.Tasks[lj] = parent.Tasks[gj]
 		in.Tasks[lj].ID = lj
 	}
 	return in
@@ -230,21 +243,7 @@ func shardedGreedy(done <-chan struct{}, p *Problem, opt Options) (Result, bool)
 	comps := p.Components()
 	subs := p.subProblems()
 
-	// The plan is drawn in exactly the monolithic consumption order
-	// (samples-major color table, then the final colors), so a sharded
-	// run spends opt.Rng draws identically to the monolithic run.
-	plan := colorPlan{
-		colorOf: make([]uint8, N*n*K),
-		final:   make([]int32, n*K),
-	}
-	for s := 0; s < N; s++ {
-		for idx := 0; idx < n*K; idx++ {
-			plan.colorOf[idx*N+s] = uint8(opt.Rng.Intn(C))
-		}
-	}
-	for idx := range plan.final {
-		plan.final[idx] = int32(opt.Rng.Intn(C))
-	}
+	plan := drawColorPlan(opt.Rng, n, K, C, N)
 
 	runnable := make([]int, 0, len(comps))
 	for ci, sub := range subs {
@@ -267,7 +266,7 @@ func shardedGreedy(done <-chan struct{}, p *Problem, opt Options) (Result, bool)
 				return
 			}
 			ci := runnable[idx]
-			results[ci], oks[ci] = runComponent(done, p, subs[ci], comps[ci], opt, &plan)
+			results[ci], oks[ci] = runComponent(done, subs[ci], comps[ci], p.K, opt, &plan)
 		}
 	}
 	if workers <= 1 {
@@ -310,13 +309,34 @@ func shardedGreedy(done <-chan struct{}, p *Problem, opt Options) (Result, bool)
 	return res, true
 }
 
-// runComponent slices the global color plan down to the component's
-// chargers and runs the monolithic greedy on its sub-Problem. The
-// sub-run is sequential (Workers = 1): sharding parallelizes across
-// components, and nesting the per-step policy fan inside component
-// goroutines would oversubscribe the pool.
-func runComponent(done <-chan struct{}, p, sub *Problem, comp Component, opt Options, plan *colorPlan) (Result, bool) {
-	K, N := p.K, opt.Samples
+// drawColorPlan draws every random decision of a greedy run up front, in
+// exactly the monolithic consumption order (samples-major color table,
+// then the final colors), so a sharded run spends rng draws identically
+// to the monolithic run it must reproduce.
+func drawColorPlan(rng *rand.Rand, n, K, C, N int) colorPlan {
+	plan := colorPlan{
+		colorOf: make([]uint8, N*n*K),
+		final:   make([]int32, n*K),
+	}
+	for s := 0; s < N; s++ {
+		for idx := 0; idx < n*K; idx++ {
+			plan.colorOf[idx*N+s] = uint8(rng.Intn(C))
+		}
+	}
+	for idx := range plan.final {
+		plan.final[idx] = int32(rng.Intn(C))
+	}
+	return plan
+}
+
+// runComponent slices the global color plan (drawn for a K-slot horizon
+// over all global chargers) down to the component's chargers and runs the
+// monolithic greedy on its sub-Problem. The sub-run is sequential
+// (Workers = 1): sharding parallelizes across components, and nesting the
+// per-step policy fan inside component goroutines would oversubscribe the
+// pool.
+func runComponent(done <-chan struct{}, sub *Problem, comp Component, K int, opt Options, plan *colorPlan) (Result, bool) {
+	N := opt.Samples
 	Kc := sub.K
 	subPlan := &colorPlan{
 		colorOf: make([]uint8, N*len(comp.Chargers)*Kc),

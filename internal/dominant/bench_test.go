@@ -1,0 +1,24 @@
+package dominant_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"haste/internal/dominant"
+	"haste/internal/workload"
+)
+
+// BenchmarkExtractAll measures full dominant-set extraction (Algorithm 1
+// over every charger) on the paper-scale workload. ReportAllocs guards
+// the candidate-buffer reuse: ExtractAll builds the all-tasks ID slice
+// once and shares it across chargers instead of regrowing a fresh slice
+// per charger (the before/after numbers live in BENCH_core.json's
+// "compile" section).
+func BenchmarkExtractAll(b *testing.B) {
+	in := workload.Default().Generate(rand.New(rand.NewSource(1)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dominant.ExtractAll(in)
+	}
+}

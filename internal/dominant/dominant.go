@@ -59,11 +59,17 @@ func Extract(in *model.Instance, chargerID int) []Policy {
 	return ExtractSubset(in, chargerID, ids)
 }
 
-// ExtractAll runs Extract for every charger: Γ_i for i ∈ [n].
+// ExtractAll runs Extract for every charger: Γ_i for i ∈ [n]. The
+// all-tasks candidate slice is built once and shared across chargers
+// (ExtractSubset only reads it), instead of regrown per charger.
 func ExtractAll(in *model.Instance) [][]Policy {
+	ids := make([]int, len(in.Tasks))
+	for j := range ids {
+		ids[j] = j
+	}
 	out := make([][]Policy, len(in.Chargers))
 	for i := range in.Chargers {
-		out[i] = Extract(in, i)
+		out[i] = ExtractSubset(in, i, ids)
 	}
 	return out
 }

@@ -1,0 +1,239 @@
+package geom_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"haste/internal/geom"
+	"haste/internal/model"
+	"haste/internal/workload"
+)
+
+// bruteWithin returns the indices of pts within dist of q, ascending.
+func bruteWithin(pts []geom.Point, q geom.Point, dist float64) []int32 {
+	var out []int32
+	for j, p := range pts {
+		if q.Dist(p) <= dist {
+			out = append(out, int32(j))
+		}
+	}
+	return out
+}
+
+// assertSuperset fails unless every index in want appears in got (both
+// ascending).
+func assertSuperset(t *testing.T, got []int32, want []int32, ctx string) {
+	t.Helper()
+	set := make(map[int32]bool, len(got))
+	for idx, g := range got {
+		if idx > 0 && got[idx-1] >= g {
+			t.Fatalf("%s: candidates not strictly ascending: %v", ctx, got)
+		}
+		set[g] = true
+	}
+	for _, w := range want {
+		if !set[w] {
+			t.Fatalf("%s: point %d within reach missing from candidates %v", ctx, w, got)
+		}
+	}
+}
+
+// TestGridCandidatesSuperset: the one-sided guarantee on random geometry —
+// every point within Reach() of a query is among its candidates, for
+// queries inside, at the edge of, and far outside the indexed bounding
+// box.
+func TestGridCandidatesSuperset(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(80)
+		reach := 0.5 + 5*rng.Float64()
+		pts := make([]geom.Point, n)
+		for j := range pts {
+			pts[j] = geom.Point{X: rng.Float64() * 60, Y: rng.Float64() * 60}
+		}
+		g := geom.NewGridIndex(pts, reach)
+		if g.Reach() < reach {
+			t.Fatalf("trial %d: Reach %g shrank below requested %g", trial, g.Reach(), reach)
+		}
+		var buf []int32
+		for q := 0; q < 40; q++ {
+			query := geom.Point{X: rng.Float64()*140 - 40, Y: rng.Float64()*140 - 40}
+			buf = g.Candidates(query, buf[:0])
+			assertSuperset(t, buf, bruteWithin(pts, query, g.Reach()), "random query")
+		}
+		// Every indexed point queries itself and its own neighborhood.
+		for j := range pts {
+			buf = g.Candidates(pts[j], buf[:0])
+			assertSuperset(t, buf, bruteWithin(pts, pts[j], g.Reach()), "self query")
+		}
+	}
+}
+
+// TestGridChargeablePairsExact: end to end against the model predicate —
+// grid candidates filtered by Params.Chargeable reproduce exactly the
+// brute-force all-pairs chargeable relation, on the paper's workload and
+// under random rotations and translations of the whole field. Rotating or
+// shifting the frame moves every point across different cell boundaries,
+// so this doubles as the rotation/translation-invariance property: the
+// filtered pair set must come out identical in every frame.
+func TestGridChargeablePairsExact(t *testing.T) {
+	base := workload.Default().Generate(rand.New(rand.NewSource(7)))
+	rng := rand.New(rand.NewSource(8))
+	for frame := 0; frame < 12; frame++ {
+		in := cloneInstance(base)
+		if frame > 0 {
+			theta := rng.Float64() * 2 * math.Pi
+			dx, dy := rng.Float64()*1e3-500, rng.Float64()*1e3-500
+			transform(in, theta, dx, dy)
+		}
+		pts := make([]geom.Point, len(in.Tasks))
+		for j := range in.Tasks {
+			pts[j] = in.Tasks[j].Pos
+		}
+		g := geom.NewGridIndex(pts, in.Params.Radius)
+		var buf []int32
+		for i, c := range in.Chargers {
+			got := map[int]bool{}
+			buf = g.Candidates(c.Pos, buf[:0])
+			for _, j := range buf {
+				if in.Params.Chargeable(c, in.Tasks[j]) {
+					got[int(j)] = true
+				}
+			}
+			for j, tk := range in.Tasks {
+				want := in.Params.Chargeable(c, tk)
+				if want && !got[j] {
+					t.Fatalf("frame %d: chargeable pair (%d,%d) lost by grid", frame, i, j)
+				}
+				if !want && got[j] {
+					t.Fatalf("frame %d: non-chargeable pair (%d,%d) survived the filter", frame, i, j)
+				}
+			}
+		}
+	}
+}
+
+func cloneInstance(in *model.Instance) *model.Instance {
+	out := *in
+	out.Chargers = append([]model.Charger(nil), in.Chargers...)
+	out.Tasks = append([]model.Task(nil), in.Tasks...)
+	return &out
+}
+
+// transform rotates every position by theta about the origin, rotates the
+// charger orientations with it, then translates by (dx, dy) — an
+// isometry, so the chargeable relation is preserved up to floating-point
+// re-rounding of the rotated coordinates (which the exact predicate on
+// both sides of the comparison sees identically).
+func transform(in *model.Instance, theta, dx, dy float64) {
+	sin, cos := math.Sincos(theta)
+	rot := func(p geom.Point) geom.Point {
+		return geom.Point{X: p.X*cos - p.Y*sin + dx, Y: p.X*sin + p.Y*cos + dy}
+	}
+	for i := range in.Chargers {
+		in.Chargers[i].Pos = rot(in.Chargers[i].Pos)
+	}
+	for j := range in.Tasks {
+		in.Tasks[j].Pos = rot(in.Tasks[j].Pos)
+	}
+}
+
+// TestGridTranslationInvariantOnLattice: on 1/64-dyadic coordinates
+// translated by dyadic offsets, float subtraction is exact, so the
+// candidate sets must be exactly identical in the translated frame — not
+// merely supersets.
+func TestGridTranslationInvariantOnLattice(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const grain = 1.0 / 64
+	pts := make([]geom.Point, 60)
+	for j := range pts {
+		pts[j] = geom.Point{X: float64(rng.Intn(4096)) * grain, Y: float64(rng.Intn(4096)) * grain}
+	}
+	reach := 2.0
+	g := geom.NewGridIndex(pts, reach)
+	for _, off := range []geom.Point{{X: 128, Y: -256}, {X: 4096 * grain, Y: 17}, {X: -33.5, Y: 0.25}} {
+		moved := make([]geom.Point, len(pts))
+		for j, p := range pts {
+			moved[j] = geom.Point{X: p.X + off.X, Y: p.Y + off.Y}
+		}
+		gm := geom.NewGridIndex(moved, reach)
+		var a, b []int32
+		for q := 0; q < 40; q++ {
+			query := geom.Point{X: float64(rng.Intn(5000)-400) * grain, Y: float64(rng.Intn(5000)-400) * grain}
+			a = g.Candidates(query, a[:0])
+			b = gm.Candidates(geom.Point{X: query.X + off.X, Y: query.Y + off.Y}, b[:0])
+			if len(a) != len(b) {
+				t.Fatalf("offset %+v: candidate sets differ in size: %d vs %d", off, len(a), len(b))
+			}
+			for idx := range a {
+				if a[idx] != b[idx] {
+					t.Fatalf("offset %+v: candidate sets differ: %v vs %v", off, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestGridBoundaryOfCell: adversarial geometry — points sitting exactly
+// on cell boundaries (integer multiples of the cell side) and queries
+// exactly reach away must still satisfy the superset guarantee in every
+// direction.
+func TestGridBoundaryOfCell(t *testing.T) {
+	reach := 4.0
+	var pts []geom.Point
+	for x := 0; x <= 6; x++ {
+		for y := 0; y <= 6; y++ {
+			pts = append(pts, geom.Point{X: float64(x) * reach, Y: float64(y) * reach})
+		}
+	}
+	g := geom.NewGridIndex(pts, reach)
+	var buf []int32
+	for _, p := range pts {
+		for _, d := range []geom.Point{{X: reach}, {X: -reach}, {Y: reach}, {Y: -reach},
+			{X: reach / 2, Y: reach / 2}, {X: -reach, Y: -reach}} {
+			q := geom.Point{X: p.X + d.X, Y: p.Y + d.Y}
+			buf = g.Candidates(q, buf[:0])
+			assertSuperset(t, buf, bruteWithin(pts, q, g.Reach()), "boundary query")
+		}
+	}
+}
+
+// TestGridDegenerate: empty input, a single point, coincident points, a
+// pathological bounding box that trips the cell budget, and non-finite
+// coordinates all stay within the superset contract without panicking.
+func TestGridDegenerate(t *testing.T) {
+	if got := geom.NewGridIndex(nil, 3).Candidates(geom.Point{}, nil); len(got) != 0 {
+		t.Fatalf("empty index returned candidates %v", got)
+	}
+
+	one := []geom.Point{{X: 5, Y: 5}}
+	g := geom.NewGridIndex(one, 3)
+	assertSuperset(t, g.Candidates(geom.Point{X: 6, Y: 6}, nil), []int32{0}, "single point")
+
+	same := []geom.Point{{X: 1, Y: 1}, {X: 1, Y: 1}, {X: 1, Y: 1}}
+	g = geom.NewGridIndex(same, 0.5)
+	assertSuperset(t, g.Candidates(geom.Point{X: 1, Y: 1}, nil), []int32{0, 1, 2}, "coincident points")
+
+	// Two points a kilometer apart with tiny reach: the cell budget must
+	// grow cells rather than allocate a million of them, and Reach()
+	// reports the growth.
+	far := []geom.Point{{X: 0, Y: 0}, {X: 1e6, Y: 1e6}}
+	g = geom.NewGridIndex(far, 1e-3)
+	if g.Reach() < 1e-3 {
+		t.Fatalf("budgeted grid shrank reach to %g", g.Reach())
+	}
+	assertSuperset(t, g.Candidates(geom.Point{X: 0, Y: 0}, nil), []int32{0}, "far pair")
+
+	// Non-finite coordinates collapse to a single cell: every query sees
+	// every point.
+	bad := []geom.Point{{X: math.NaN(), Y: 0}, {X: 1, Y: 2}, {X: math.Inf(1), Y: 3}}
+	g = geom.NewGridIndex(bad, 2)
+	got := g.Candidates(geom.Point{X: 1, Y: 2}, nil)
+	if len(got) != len(bad) {
+		t.Fatalf("non-finite index must return all points, got %v", got)
+	}
+	if got = g.Candidates(geom.Point{X: math.NaN(), Y: math.NaN()}, nil); len(got) != len(bad) {
+		t.Fatalf("NaN query on collapsed index must return all points, got %v", got)
+	}
+}

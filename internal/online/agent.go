@@ -195,14 +195,28 @@ func (a *agent) startSession(slot, color int) {
 		a.sessionCovers = make([][]taskEnergy, len(a.policies))
 	}
 	a.sessionCovers = a.sessionCovers[:len(a.policies)]
+	// Every cover is chargeable by this agent and therefore present in its
+	// sparse row; both lists are ascending, so a two-pointer merge replaces
+	// a binary search per cover.
+	row := a.p.ChargerRow(a.id)
 	for pol := range a.policies {
 		a.sessionCovers[pol] = a.sessionCovers[pol][:0]
 		if a.policies[pol].Idle {
 			continue
 		}
+		r := 0
 		for _, j := range a.policies[pol].Covers {
+			for r < len(row) && int(row[r].Task) < j {
+				r++
+			}
+			if r == len(row) {
+				break
+			}
+			if int(row[r].Task) != j {
+				continue
+			}
 			t := &a.p.In.Tasks[j]
-			if de := a.p.SlotEnergy(a.id, j); de > 0 && t.ActiveAt(slot) {
+			if de := row[r].De; de > 0 && t.ActiveAt(slot) {
 				a.sessionCovers[pol] = append(a.sessionCovers[pol], taskEnergy{j, de})
 			}
 		}

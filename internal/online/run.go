@@ -305,11 +305,12 @@ func perceivedEnergies(p *core.Problem, orient [][]float64, known []int, upTo in
 	}
 	for i := range in.Chargers {
 		// Only this charger's chargeable known tasks can ever receive
-		// energy from it.
-		var reach []int
-		for j := range in.Tasks {
-			if isKnown[j] && p.SlotEnergy(i, j) > 0 {
-				reach = append(reach, j)
+		// energy from it — read off the sparse charger row instead of
+		// scanning every task.
+		var reach []core.CoverEntry
+		for _, ent := range p.ChargerRow(i) {
+			if ent.De > 0 && isKnown[ent.Task] {
+				reach = append(reach, ent)
 			}
 		}
 		if len(reach) == 0 {
@@ -323,9 +324,10 @@ func perceivedEnergies(p *core.Problem, orient [][]float64, known []int, upTo in
 			if math.IsNaN(cur) {
 				continue
 			}
-			for _, j := range reach {
+			for _, ent := range reach {
+				j := int(ent.Task)
 				if in.Tasks[j].ActiveAt(k) && in.Params.Covers(in.Chargers[i], cur, in.Tasks[j]) {
-					e[j] += p.SlotEnergy(i, j)
+					e[j] += ent.De
 				}
 			}
 		}
@@ -342,13 +344,19 @@ func knownNeighbors(p *core.Problem, known []int) [][]int {
 	for i := range adj {
 		adj[i] = map[int]bool{}
 	}
-	for _, j := range known {
-		var covers []int
-		for i := 0; i < n; i++ {
-			if p.SlotEnergy(i, j) > 0 {
-				covers = append(covers, i)
+	// Invert the sparse rows once: coversByTask[j] lists the chargers that
+	// can deliver energy to task j (ascending, since chargers are walked in
+	// order). This replaces an all-chargers column scan per known task.
+	coversByTask := make([][]int, len(in.Tasks))
+	for i := 0; i < n; i++ {
+		for _, ent := range p.ChargerRow(i) {
+			if ent.De > 0 {
+				coversByTask[ent.Task] = append(coversByTask[ent.Task], i)
 			}
 		}
+	}
+	for _, j := range known {
+		covers := coversByTask[j]
 		for _, a := range covers {
 			for _, b := range covers {
 				if a != b {

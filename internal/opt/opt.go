@@ -64,13 +64,16 @@ func Solve(p *core.Problem, opt Options) (Solution, error) {
 	}
 
 	// Order cells by decreasing potential so strong decisions come first.
+	// Potentials sum only the charger's sparse row (tasks outside it
+	// contribute exactly zero), so this stays O(n·K·row) not O(n·K·m).
 	cells := make([]cell, 0, n*K)
 	for i := 0; i < n; i++ {
+		row := p.ChargerRow(i)
 		for k := 0; k < K; k++ {
 			var pot float64
-			for _, tk := range p.In.Tasks {
-				if tk.ActiveAt(k) {
-					pot += p.SlotEnergy(i, tk.ID)
+			for _, e := range row {
+				if p.In.Tasks[e.Task].ActiveAt(k) {
+					pot += e.De
 				}
 			}
 			cells = append(cells, cell{i, k, pot})
@@ -84,9 +87,9 @@ func Solve(p *core.Problem, opt Options) (Solution, error) {
 	for d := len(cells) - 1; d >= 0; d-- {
 		row := append([]float64(nil), remaining[d+1]...)
 		c := cells[d]
-		for _, tk := range p.In.Tasks {
-			if tk.ActiveAt(c.k) {
-				row[tk.ID] += p.SlotEnergy(c.i, tk.ID)
+		for _, e := range p.ChargerRow(c.i) {
+			if p.In.Tasks[e.Task].ActiveAt(c.k) {
+				row[e.Task] += e.De
 			}
 		}
 		remaining[d] = row

@@ -28,12 +28,14 @@ func ExecuteOrientations(p *core.Problem, orient [][]float64) Outcome {
 	energy := make([]float64, len(in.Tasks))
 	out := Outcome{PerTask: make([]float64, len(in.Tasks))}
 
-	// chargeable[i]: tasks charger i can ever charge (SlotEnergy > 0).
-	chargeable := make([][]int, n)
+	// chargeable[i]: tasks charger i can ever charge (positive slot
+	// energy), read straight off the sparse charger row — no scan over
+	// the full task set.
+	chargeable := make([][]core.CoverEntry, n)
 	for i := 0; i < n; i++ {
-		for j := range in.Tasks {
-			if p.SlotEnergy(i, j) > 0 {
-				chargeable[i] = append(chargeable[i], j)
+		for _, e := range p.ChargerRow(i) {
+			if e.De > 0 {
+				chargeable[i] = append(chargeable[i], e)
 			}
 		}
 	}
@@ -56,10 +58,11 @@ func ExecuteOrientations(p *core.Problem, orient [][]float64) Outcome {
 			if math.IsNaN(cur[i]) {
 				continue
 			}
-			for _, j := range chargeable[i] {
+			for _, e := range chargeable[i] {
+				j := int(e.Task)
 				t := &in.Tasks[j]
 				if t.ActiveAt(k) && in.Params.Covers(in.Chargers[i], cur[i], *t) {
-					energy[j] += p.SlotEnergy(i, j) * frac
+					energy[j] += e.De * frac
 				}
 			}
 		}

@@ -80,9 +80,10 @@ func TestClusteredSpacingOverride(t *testing.T) {
 }
 
 // TestFleetScaleGeneratesValid: the beyond-paper-scale generator produces
-// valid instances at 10⁴ tasks and scales to 10⁶ tasks in reasonable time
-// (generation only — compiling a monolithic Problem at 10⁶ tasks is a
-// dense n×m table and is exactly what sharding exists to avoid).
+// valid instances at 10⁴ tasks and scales to 10⁶ tasks in reasonable time.
+// (Scheduling at 10⁶ lives in the root TestFleetScaleMillionEndToEnd —
+// since the sparse compile, generated fleets are schedulable end to end,
+// not just generable.)
 func TestFleetScaleGeneratesValid(t *testing.T) {
 	cfg := FleetScale(10_000)
 	if cfg.NumClusters != 250 || cfg.NumChargers != 1250 {

@@ -6,12 +6,17 @@
 //
 //	haste-serve [--addr :8080] [--cache 64] [--concurrency N] [--queue 64]
 //	            [--timeout 30s] [--drain-timeout 10s] [--core-workers 1]
-//	            [--max-body 8388608] [--max-samples 1024]
+//	            [--max-body 8388608] [--max-samples 1024] [--max-sessions 64]
 //
-// Endpoints: POST /v1/schedule, GET /healthz, GET /metrics. On SIGTERM or
-// SIGINT the service drains gracefully: /healthz flips to 503, new
-// schedule requests are refused, in-flight requests run to completion (up
-// to --drain-timeout), then the listener closes and the process exits 0.
+// Endpoints: POST /v1/schedule, GET /healthz, GET /metrics, plus the
+// incremental session API — POST /v1/session, GET/PATCH/DELETE
+// /v1/session/{id}, GET /v1/session/{id}/subscribe (SSE) — which keeps a
+// compiled problem resident per session and turns task churn into delta
+// patches with warm-started re-solves. On SIGTERM or SIGINT the service
+// drains gracefully: /healthz flips to 503, new schedule requests and
+// session work are refused, in-flight requests run to completion and
+// subscriber streams close (up to --drain-timeout), then the listener
+// closes and the process exits 0.
 package main
 
 import (
@@ -47,6 +52,7 @@ func run(args []string, out *os.File) error {
 	coreWorkers := fs.Int("core-workers", 1, "core.Options.Workers per scheduling run")
 	maxBody := fs.Int64("max-body", 8<<20, "request body limit, bytes")
 	maxSamples := fs.Int("max-samples", 1024, "Monte-Carlo sample cap per request")
+	maxSessions := fs.Int("max-sessions", 64, "concurrently open incremental sessions")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,6 +64,7 @@ func run(args []string, out *os.File) error {
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
 		MaxSamples:     *maxSamples,
+		MaxSessions:    *maxSessions,
 		CoreWorkers:    *coreWorkers,
 	})
 

@@ -49,6 +49,34 @@ func TestShardedDifferentialSweep(t *testing.T) {
 	}
 }
 
+// TestMutationWalkDifferentialSweep is the incremental-scheduling
+// acceptance suite: a ≥100-step random add/remove walk through the delta
+// operations, where after every step the patched problem must equal a
+// from-scratch compile, and periodic warm-started solves under every
+// execution variant (workers, lazy, generic kernel) must be bit-identical
+// to cold solves of freshly compiled problems. The clustered cases must
+// actually adopt untouched components across the walk, or the warm-start
+// machinery would be passing vacuously.
+func TestMutationWalkDifferentialSweep(t *testing.T) {
+	steps, solveEvery := 120, 6
+	if testing.Short() {
+		steps = 30
+	}
+	for _, c := range difftest.MutationSweep() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			reused, err := difftest.RunMutationWalk(c, difftest.MutationVariants(), steps, solveEvery)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Clusters > 1 && reused == 0 {
+				t.Error("no component was ever adopted warm — the sweep is vacuous")
+			}
+		})
+	}
+}
+
 // TestTabularGreedyWorkerCountIrrelevant drives one mid-size C > 1 case
 // through a denser worker-count grid than the standard variant set,
 // including counts far above both GOMAXPROCS and the sample count.

@@ -87,6 +87,20 @@ type Options struct {
 	// ShardThreshold is the schedulable-component count at which
 	// ShardAuto shards; 0 selects DefaultShardThreshold.
 	ShardThreshold int
+
+	// Incumbent warm-starts a sharded run from a previous run's WarmStart
+	// (warm.go): components whose membership, dirtiness and plan slice
+	// show a re-run could not differ adopt the incumbent's stored result
+	// instead of running. The output is bit-identical to a cold run by
+	// construction — reuse only fires when determinism pins the result —
+	// which internal/difftest's mutation-walk sweep enforces. Ignored by
+	// monolithic runs (warm starts are component-granular; sessions force
+	// ShardOn).
+	Incumbent *WarmStart
+
+	// CollectWarm asks a sharded run to return a WarmStart in Result.Warm
+	// for use as the next run's Incumbent.
+	CollectWarm bool
 }
 
 // DefaultParallelThreshold is the Options.ParallelThreshold used when the
@@ -156,6 +170,12 @@ type Result struct {
 	// Shards is the number of independently scheduled components when the
 	// run took the shard-and-stitch path (0 for a monolithic run).
 	Shards int
+
+	// WarmReused counts the components adopted from Options.Incumbent
+	// without re-running; Warm is the run's own WarmStart when
+	// Options.CollectWarm was set (sharded runs only).
+	WarmReused int
+	Warm       *WarmStart
 }
 
 // TabularGreedy is Algorithm 2, the centralized offline algorithm for

@@ -102,12 +102,11 @@ func compileKernel(p *Problem) kernel {
 	in := p.In
 	m := len(in.Tasks)
 	kn := kernel{
-		weight:   make([]float64, m),
-		req:      make([]float64, m),
-		release:  make([]int32, m),
-		end:      make([]int32, m),
-		taskPols: make([][]int32, m),
-		polOff:   make([]int32, len(p.Gamma)),
+		weight:  make([]float64, m),
+		req:     make([]float64, m),
+		release: make([]int32, m),
+		end:     make([]int32, m),
+		polOff:  make([]int32, len(p.Gamma)),
 	}
 	_, kn.linearOK = in.U().(model.LinearBounded)
 	kn.linear = kn.linearOK
@@ -135,29 +134,54 @@ func compileKernel(p *Problem) kernel {
 	arena := make([]CoverEntry, 0, total)
 	fp := 0
 	for i, g := range p.Gamma {
-		for _, pol := range g {
-			start := len(arena)
-			var lo, hi int32
-			for _, j := range pol.Covers {
-				de := p.SlotEnergy(i, j)
-				if de == 0 {
-					continue
-				}
-				arena = append(arena, CoverEntry{Task: int32(j), De: de})
-				kn.taskPols[j] = append(kn.taskPols[j], int32(fp))
-				if start == len(arena)-1 || kn.release[j] < lo {
-					lo = kn.release[j]
-				}
-				if kn.end[j] > hi {
-					hi = kn.end[j]
-				}
-			}
+		for pol := range g {
+			var start int
+			arena, start, kn.winLo[fp], kn.winHi[fp] = appendPolicyEntries(p, &kn, i, pol, arena)
 			kn.entries[fp] = arena[start:len(arena):len(arena)]
-			kn.winLo[fp], kn.winHi[fp] = lo, hi
 			fp++
 		}
 	}
+	kn.buildTaskPols(m)
 	return kn
+}
+
+// appendPolicyEntries compiles the cover list of policy pol of charger i
+// onto arena: one CoverEntry per covered task with non-zero slot energy,
+// in the cover order (ascending task), plus the union slot window of the
+// appended tasks ([0,0) for an empty list). It is the single compilation
+// of a policy's scan list — compileKernel and the incremental kernel
+// patch (incremental.go) both call it, so a patched policy is
+// bit-identical to a from-scratch compile by construction. kn only needs
+// its release/end SoA columns populated for the policy's tasks.
+func appendPolicyEntries(p *Problem, kn *kernel, i, pol int, arena []CoverEntry) (out []CoverEntry, start int, lo, hi int32) {
+	start = len(arena)
+	for _, j := range p.Gamma[i][pol].Covers {
+		de := p.SlotEnergy(i, j)
+		if de == 0 {
+			continue
+		}
+		arena = append(arena, CoverEntry{Task: int32(j), De: de})
+		if start == len(arena)-1 || kn.release[j] < lo {
+			lo = kn.release[j]
+		}
+		if kn.end[j] > hi {
+			hi = kn.end[j]
+		}
+	}
+	return arena, start, lo, hi
+}
+
+// buildTaskPols (re)derives the saturation-pruning reverse index from the
+// compiled cover lists: taskPols[j] lists, ascending, every flat policy
+// whose list contains task j. Walking entries in flat-policy order
+// reproduces exactly the appends the old inline construction performed.
+func (kn *kernel) buildTaskPols(m int) {
+	kn.taskPols = make([][]int32, m)
+	for fp, list := range kn.entries {
+		for _, e := range list {
+			kn.taskPols[e.Task] = append(kn.taskPols[e.Task], int32(fp))
+		}
+	}
 }
 
 // flatPol maps (charger, policy) to the flat policy index.
@@ -245,10 +269,16 @@ func (p *Problem) AcquireState() *EnergyState {
 	p.statesOut.Add(1)
 	if v := p.statePool.Get(); v != nil {
 		es := v.(*EnergyState)
-		es.Reset()
-		es.stats = nil
-		es.pooled = true
-		return es
+		// A pooled state that predates a delta operation (incremental.go)
+		// is sized for the old task count or the old flat-policy space —
+		// drop it and allocate fresh instead of resurrecting stale caches.
+		if len(es.energy) == len(p.In.Tasks) &&
+			(es.live == nil || len(es.live) == len(p.kern.entries)) {
+			es.Reset()
+			es.stats = nil
+			es.pooled = true
+			return es
+		}
 	}
 	es := NewEnergyState(p)
 	es.pooled = true

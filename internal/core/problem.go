@@ -58,12 +58,24 @@ type Problem struct {
 	// components and their compiled sub-Problems, each computed at most
 	// once per Problem. subs is an atomic pointer so StatesInUse can
 	// aggregate sub-problem balances while another run is compiling them.
-	compsOnce   sync.Once
+	// The Once guards are pointers so the delta operations (incremental.go)
+	// can invalidate a cache by re-pointing its guard — a value sync.Once
+	// cannot be reset or copied.
+	compsOnce   *sync.Once
 	comps       []Component
 	schedulable int
 
-	subsOnce sync.Once
+	subsOnce *sync.Once
 	subs     atomic.Pointer[[]*Problem]
+
+	// Incremental-scheduling state (incremental.go). chargerGrid is the
+	// lazily built spatial index over the (static) charger positions that
+	// delta operations use to find the chargers a task mutation touches.
+	// prevSubs carries the component sub-Problems of the pre-mutation
+	// decomposition so the next subProblems rebuild can adopt the ones no
+	// mutation touched instead of recompiling them.
+	chargerGrid *geom.GridIndex
+	prevSubs    *subCache
 }
 
 // NewProblem validates the instance, builds the sparse slot-energy rows
@@ -80,9 +92,11 @@ func NewProblem(in *model.Instance) (*Problem, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	p := &Problem{
-		In:   in,
-		K:    in.Horizon(),
-		rows: chargeableRows(in),
+		In:        in,
+		K:         in.Horizon(),
+		rows:      chargeableRows(in),
+		compsOnce: new(sync.Once),
+		subsOnce:  new(sync.Once),
 	}
 	p.Gamma = make([][]dominant.Policy, len(in.Chargers))
 	var ids []int // candidate buffer, reused across chargers

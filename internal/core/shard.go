@@ -33,10 +33,12 @@ import (
 //     neither energies nor the objective. The switching-delay-aware
 //     simulation yields the exact same utility as well — a padding-cell
 //     policy delivers zero energy whether or not a switch precedes it —
-//     though the simulated switch COUNT can differ at Colors > 1, where
-//     the monolithic final color sampling may hop between zero-gain
-//     policies in the padding region (the -1 padding never switches, so
-//     the sharded count is never higher).
+//     and since sim.Execute clips assignments past each charger's
+//     AssignedHorizons entry, the simulated switch count is identical
+//     too. (Before that clip, the monolithic final color sampling at
+//     Colors > 1 could hop between zero-gain policies in the padding
+//     region and report a higher count than the sharded run, whose -1
+//     padding never switches.)
 //   - On a single-component instance covering all chargers and tasks the
 //     stitched result is bit-identical to the monolithic one, schedule
 //     cells and utility alike.
@@ -107,6 +109,31 @@ func (p *Problem) computeComponents() {
 	p.comps, p.schedulable = coverageComponents(len(p.In.Chargers), len(p.In.Tasks), p.rows)
 }
 
+// AssignedHorizons returns, per charger, one past the last slot in which
+// any schedule for this problem can assign a policy with non-zero effect:
+// the maximum End over the charger's component's tasks (0 for chargers
+// with no reachable task). Past this horizon every policy delivers
+// exactly zero energy — all tasks the charger can reach have ended — so
+// the sharded scheduler leaves such cells at -1 while the monolithic one
+// may fill them with zero-gain policies. Executors and comparators that
+// must treat the two schedules identically (sim switch counting,
+// difftest's sharded contract) clip assignments at this horizon.
+func (p *Problem) AssignedHorizons() []int {
+	hor := make([]int, len(p.In.Chargers))
+	for _, comp := range p.Components() {
+		end := 0
+		for _, gj := range comp.Tasks {
+			if e := p.In.Tasks[gj].End; e > end {
+				end = e
+			}
+		}
+		for _, gi := range comp.Chargers {
+			hor[gi] = end
+		}
+	}
+	return hor
+}
+
 // coverageComponents finds the connected components of the coverage graph
 // straight from the sparse chargeable rows: charger i and task j are
 // adjacent iff j appears in rows[i]. Rows carry exactly the chargeable
@@ -175,12 +202,25 @@ func coverageComponents(n, m int, rows [][]CoverEntry) ([]Component, int) {
 // chargers (policy indices included) and the compiled kernel reproduces
 // their cover entries bit for bit. Sub-Problems inherit the parent's
 // kernel choice (SetFlatKernel) as of their compilation.
+//
+// After a delta operation (incremental.go) the rebuild first consults the
+// stashed pre-mutation decomposition: a component with identical
+// membership and no dirty charger adopts its old compiled sub-Problem —
+// whose sub-instance is bit-identical to what sliceInstance would produce
+// now — instead of recompiling it.
 func (p *Problem) subProblems() []*Problem {
 	p.subsOnce.Do(func() {
 		comps := p.Components()
+		prev := p.prevSubs
+		p.prevSubs = nil
 		subs := make([]*Problem, len(comps))
 		for ci, comp := range comps {
 			if len(comp.Chargers) == 0 || len(comp.Tasks) == 0 {
+				continue
+			}
+			if sub := prev.adoptableSub(comp); sub != nil {
+				sub.SetFlatKernel(p.kern.linear)
+				subs[ci] = sub
 				continue
 			}
 			sub, err := NewProblem(sliceInstance(p.In, comp))
@@ -252,21 +292,42 @@ func shardedGreedy(done <-chan struct{}, p *Problem, opt Options) (Result, bool)
 		}
 	}
 
-	results := make([]Result, len(comps))
+	// Warm start: adopt the incumbent's result for every component a
+	// re-run provably could not change (warm.go documents the conditions);
+	// only the rest is dispatched to the workers.
+	results := make([]*Result, len(comps))
 	oks := make([]bool, len(comps))
+	reusedCount := 0
+	toRun := runnable
+	if inc := opt.Incumbent; inc.matches(opt, n) {
+		toRun = make([]int, 0, len(runnable))
+		for _, ci := range runnable {
+			if r := inc.reusable(comps[ci], subs[ci].K, &plan, K, N); r != nil {
+				results[ci], oks[ci] = r, true
+				reusedCount++
+				continue
+			}
+			toRun = append(toRun, ci)
+		}
+	}
+
 	workers := opt.Workers
-	if workers > len(runnable) {
-		workers = len(runnable)
+	if workers > len(toRun) {
+		workers = len(toRun)
 	}
 	var next atomic.Int64
 	run := func() {
 		for {
 			idx := int(next.Add(1)) - 1
-			if idx >= len(runnable) {
+			if idx >= len(toRun) {
 				return
 			}
-			ci := runnable[idx]
-			results[ci], oks[ci] = runComponent(done, subs[ci], comps[ci], p.K, opt, &plan)
+			ci := toRun[idx]
+			r, ok := runComponent(done, subs[ci], comps[ci], p.K, opt, &plan)
+			if ok {
+				results[ci] = &r
+			}
+			oks[ci] = ok
 		}
 	}
 	if workers <= 1 {
@@ -290,14 +351,16 @@ func shardedGreedy(done <-chan struct{}, p *Problem, opt Options) (Result, bool)
 		}
 	}
 
-	res := Result{Schedule: sched, Shards: len(runnable)}
+	res := Result{Schedule: sched, Shards: len(runnable), WarmReused: reusedCount}
 	for _, ci := range runnable {
 		comp, sub := comps[ci], subs[ci]
 		for li, gi := range comp.Chargers {
 			copy(sched.Policy[gi][:sub.K], results[ci].Schedule.Policy[li])
 		}
 		// Aggregated in canonical component order, so instrumented runs
-		// report deterministic counters at any worker count.
+		// report deterministic counters at any worker count. Adopted
+		// results carry the counters of their original (also sequential,
+		// also deterministic) run — the counts a re-run would reproduce.
 		res.Kernel.add(results[ci].Kernel)
 	}
 	// Re-evaluating the stitched schedule on the original problem — not
@@ -306,6 +369,17 @@ func shardedGreedy(done <-chan struct{}, p *Problem, opt Options) (Result, bool)
 	// (charger, slot) order, and the cells only the monolithic schedule
 	// assigns contribute exactly +0.0.
 	res.RUtility = Evaluate(p, sched)
+	if opt.CollectWarm {
+		subKs := make([]int, len(comps))
+		for _, ci := range runnable {
+			subKs[ci] = subs[ci].K
+		}
+		res.Warm = &WarmStart{
+			colors: C, samples: N, preferStay: opt.PreferStay,
+			kernelStats: opt.KernelStats, n: n, k: K,
+			plan: plan, comps: comps, results: results, subKs: subKs,
+		}
+	}
 	return res, true
 }
 

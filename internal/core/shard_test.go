@@ -341,6 +341,56 @@ func TestComponentsPermutationInvariant(t *testing.T) {
 	}
 }
 
+// TestAssignedHorizons: every charger's assigned horizon is the max End
+// over its component's tasks, zero for chargers with no reachable task,
+// and never exceeds the global horizon. Cross-checked against the
+// decomposition and against each component sub-instance's own Horizon().
+func TestAssignedHorizons(t *testing.T) {
+	p := shardProblem(t, 601, 5, 10, 30)
+	hor := p.AssignedHorizons()
+	if len(hor) != len(p.In.Chargers) {
+		t.Fatalf("len = %d, want %d", len(hor), len(p.In.Chargers))
+	}
+	for ci, comp := range p.Components() {
+		end := 0
+		for _, gj := range comp.Tasks {
+			if e := p.In.Tasks[gj].End; e > end {
+				end = e
+			}
+		}
+		for _, gi := range comp.Chargers {
+			if hor[gi] != end {
+				t.Fatalf("charger %d (component %d): horizon %d, want %d", gi, ci, hor[gi], end)
+			}
+			if hor[gi] > p.K {
+				t.Fatalf("charger %d horizon %d exceeds global K %d", gi, hor[gi], p.K)
+			}
+		}
+		if len(comp.Chargers) > 0 && len(comp.Tasks) > 0 {
+			sub := sliceInstance(p.In, comp)
+			if sub.Horizon() != end {
+				t.Fatalf("component %d: sub horizon %d != assigned horizon %d", ci, sub.Horizon(), end)
+			}
+		}
+	}
+
+	// Isolated chargers (no reachable task) get horizon 0.
+	base := model.Params{
+		Alpha: 100, Beta: 1, Radius: 1,
+		ChargeAngle: geom.Deg(60), ReceiveAngle: geom.TwoPi,
+		SlotSeconds: 60, Tau: 1,
+	}
+	iso, err := NewProblem(degenerateInstance(base, 4, 6, 10, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range iso.AssignedHorizons() {
+		if h != 0 {
+			t.Fatalf("isolated charger %d: horizon %d, want 0", i, h)
+		}
+	}
+}
+
 // TestShardedAutoThreshold: ShardAuto shards exactly when the schedulable
 // component count reaches the threshold.
 func TestShardedAutoThreshold(t *testing.T) {

@@ -111,22 +111,9 @@ func CompareSharded(p *core.Problem, mono, got core.Result) error {
 	}
 	// horizon[i]: the slot count the charger's component spans (0 when its
 	// component has no tasks) — below it the sharded run must agree with
-	// the reference, at or above it the cell must be the -1 padding.
-	horizon := make([]int, n)
-	for _, comp := range p.Components() {
-		if len(comp.Chargers) == 0 || len(comp.Tasks) == 0 {
-			continue
-		}
-		kc := 0
-		for _, j := range comp.Tasks {
-			if end := p.In.Tasks[j].End; end > kc {
-				kc = end
-			}
-		}
-		for _, i := range comp.Chargers {
-			horizon[i] = kc
-		}
-	}
+	// the reference, at or above it the cell must be the -1 padding. This
+	// is the same per-charger horizon sim.Execute clips switch counting at.
+	horizon := p.AssignedHorizons()
 	for i := 0; i < n; i++ {
 		ref, row := mono.Schedule.Policy[i], got.Schedule.Policy[i]
 		if len(row) != len(ref) {

@@ -48,9 +48,11 @@ func NewGridIndex(pts []Point, reach float64) *GridIndex {
 	g.minX, g.minY = minX, minY
 	width, height := maxX-minX, maxY-minY
 	if !isFinite(width) || !isFinite(height) {
-		// Non-finite coordinates (the model never makes such pairs
-		// chargeable): collapse to one cell so every query sees every
-		// point — trivially a superset, and nothing here can overflow.
+		// Non-finite coordinates: collapse to one cell so every query
+		// sees every point — trivially a superset, and nothing here can
+		// overflow. Defense in depth only: model.Instance.Validate
+		// rejects NaN/±Inf positions before any index is built, so
+		// validated instances never reach this branch.
 		width, height = 0, 0
 		g.cell = math.Inf(1)
 	}

@@ -1,10 +1,12 @@
 package instio
 
 import (
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
 
+	"haste/internal/geom"
 	"haste/internal/workload"
 )
 
@@ -85,6 +87,52 @@ func TestHashSeparatesContent(t *testing.T) {
 	}
 	if hc == ha {
 		t.Fatal("perturbed instance kept the same hash")
+	}
+}
+
+// TestHashNegativeZero: encoding/json spells -0.0 as "-0", so before
+// Canonical normalized it, two instances differing only in the sign of a
+// zero coordinate — which compile to identical Problems — hashed to
+// different content addresses and defeated the serve cache.
+func TestHashNegativeZero(t *testing.T) {
+	in := workload.SmallScale().Generate(rand.New(rand.NewSource(7)))
+	in.Chargers[0].Pos = geom.Point{X: 0, Y: 12}
+	in.Tasks[0].Pos.Y = 0
+	in.Tasks[0].Phi = 0
+	base, err := HashInstance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	neg := workload.SmallScale().Generate(rand.New(rand.NewSource(7)))
+	neg.Chargers[0].Pos = geom.Point{X: math.Copysign(0, -1), Y: 12}
+	neg.Tasks[0].Pos.Y = math.Copysign(0, -1)
+	neg.Tasks[0].Phi = math.Copysign(0, -1)
+	nh, err := HashInstance(neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nh != base {
+		t.Errorf("-0.0 coordinates changed the content address: %s vs %s", nh, base)
+	}
+
+	// The canonical bytes themselves must not contain a negative zero.
+	raw, err := FromInstance(neg, "").Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "-0,") || strings.Contains(string(raw), "-0}") {
+		t.Errorf("canonical encoding kept a -0: %s", raw)
+	}
+
+	// Canonical must not mutate the receiver's slices in place: the file's
+	// own spelling (and anything aliasing it) stays untouched.
+	f := FromInstance(neg, "")
+	if _, err := f.Canonical(); err != nil {
+		t.Fatal(err)
+	}
+	if !math.Signbit(f.Charger[0].X) {
+		t.Error("Canonical mutated the receiver's charger slice")
 	}
 }
 

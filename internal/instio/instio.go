@@ -146,10 +146,7 @@ func (f File) ToInstance() (*model.Instance, error) {
 		in.Chargers = append(in.Chargers, model.Charger{ID: i, Pos: geom.Point{X: c.X, Y: c.Y}})
 	}
 	for j, t := range f.Tasks {
-		in.Tasks = append(in.Tasks, model.Task{
-			ID: j, Pos: geom.Point{X: t.X, Y: t.Y}, Phi: geom.Deg(t.PhiDeg),
-			Release: t.Release, End: t.End, Energy: t.Energy, Weight: t.Weight,
-		})
+		in.Tasks = append(in.Tasks, TaskFromFile(t, j))
 	}
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("instio: invalid instance: %w", err)
@@ -157,20 +154,62 @@ func (f File) ToInstance() (*model.Instance, error) {
 	return in, nil
 }
 
+// nz normalizes negative zero to positive zero. encoding/json spells
+// -0.0 as "-0", so without this an instance differing from another only
+// in the sign of a zero coordinate would canonicalize to different bytes
+// — and different content addresses — despite compiling to an identical
+// Problem (every distance, angle, and power computation treats the two
+// zeros alike).
+func nz(f float64) float64 {
+	if f == 0 {
+		return 0
+	}
+	return f
+}
+
+// TaskFromFile converts one schema task into a model task with the given
+// ID, using exactly the conversion ToInstance applies — the session API
+// decodes streamed task mutations through this so an incrementally built
+// instance matches a from-scratch Load of the same file bit for bit.
+func TaskFromFile(t FileTask, id int) model.Task {
+	return model.Task{
+		ID: id, Pos: geom.Point{X: t.X, Y: t.Y}, Phi: geom.Deg(t.PhiDeg),
+		Release: t.Release, End: t.End, Energy: t.Energy, Weight: t.Weight,
+	}
+}
+
 // Canonical returns the canonical wire encoding of the file: schema
-// version pinned, comment stripped, nil slices normalized to empty, and
-// compact JSON in the fixed field order of the schema structs. Two files
-// that decode to the same instance content (regardless of whitespace,
-// float spelling like 60 vs 6e1, or comments) canonicalize to the same
-// bytes, which is what makes the encoding usable as a content address.
+// version pinned, comment stripped, nil slices normalized to empty,
+// negative zeros normalized, and compact JSON in the fixed field order of
+// the schema structs. Two files that decode to the same instance content
+// (regardless of whitespace, float spelling like 60 vs 6e1 vs -0, or
+// comments) canonicalize to the same bytes, which is what makes the
+// encoding usable as a content address.
 func (f File) Canonical() ([]byte, error) {
 	f.Version = SchemaVersion
 	f.Comment = ""
+	p := &f.Params
+	p.Alpha, p.Beta, p.Radius = nz(p.Alpha), nz(p.Beta), nz(p.Radius)
+	p.ChargeAngleDeg, p.ReceiveAngleDeg = nz(p.ChargeAngleDeg), nz(p.ReceiveAngleDeg)
+	p.SlotSeconds, p.Rho = nz(p.SlotSeconds), nz(p.Rho)
 	if f.Charger == nil {
 		f.Charger = []FilePoint{}
+	} else {
+		f.Charger = append([]FilePoint(nil), f.Charger...)
+		for i := range f.Charger {
+			c := &f.Charger[i]
+			c.X, c.Y = nz(c.X), nz(c.Y)
+		}
 	}
 	if f.Tasks == nil {
 		f.Tasks = []FileTask{}
+	} else {
+		f.Tasks = append([]FileTask(nil), f.Tasks...)
+		for i := range f.Tasks {
+			t := &f.Tasks[i]
+			t.X, t.Y, t.PhiDeg = nz(t.X), nz(t.Y), nz(t.PhiDeg)
+			t.Energy, t.Weight = nz(t.Energy), nz(t.Weight)
+		}
 	}
 	raw, err := json.Marshal(f)
 	if err != nil {

@@ -229,8 +229,8 @@ func (in *Instance) TotalWeight() float64 {
 }
 
 // Validate checks structural consistency: parameter sanity, unique dense
-// IDs, positive energies and weights, sane task windows, and the paper's
-// standing assumption t_e − t_r ≥ 2τ·T_s.
+// IDs, finite coordinates, positive energies and weights, sane task
+// windows, and the paper's standing assumption t_e − t_r ≥ 2τ·T_s.
 func (in *Instance) Validate() error {
 	if err := in.Params.Validate(); err != nil {
 		return err
@@ -239,30 +239,56 @@ func (in *Instance) Validate() error {
 		if c.ID != i {
 			return fmt.Errorf("model: charger at index %d has ID %d (IDs must be dense)", i, c.ID)
 		}
+		if !finite(c.Pos.X) || !finite(c.Pos.Y) {
+			return fmt.Errorf("model: charger %d has non-finite position (%g, %g)", i, c.Pos.X, c.Pos.Y)
+		}
 	}
 	for j, t := range in.Tasks {
 		if t.ID != j {
 			return fmt.Errorf("model: task at index %d has ID %d (IDs must be dense)", j, t.ID)
 		}
-		if t.End <= t.Release {
-			return fmt.Errorf("model: task %d has empty window [%d, %d)", j, t.Release, t.End)
-		}
-		if t.Release < 0 {
-			return fmt.Errorf("model: task %d released at negative slot %d", j, t.Release)
-		}
-		if t.Energy <= 0 {
-			return fmt.Errorf("model: task %d requires non-positive energy %g", j, t.Energy)
-		}
-		if t.Weight < 0 {
-			return fmt.Errorf("model: task %d has negative weight %g", j, t.Weight)
-		}
-		if in.Params.Tau > 0 && t.Duration() < 2*in.Params.Tau {
-			return fmt.Errorf("model: task %d duration %d slots violates t_e−t_r ≥ 2τ (τ=%d)",
-				j, t.Duration(), in.Params.Tau)
+		if err := in.CheckTask(t); err != nil {
+			return err
 		}
 	}
 	return nil
 }
+
+// CheckTask validates one task against the instance's parameters: finite
+// coordinates and orientation (a NaN or ±Inf position would land in an
+// arbitrary spatial-grid cell and be scheduled as garbage — rejected here
+// so instio.Load, core.NewProblem and the incremental delta ops all refuse
+// it with a real error), a non-empty non-negative window, positive finite
+// energy, non-negative finite weight, and t_e − t_r ≥ 2τ. The task's ID is
+// not checked (density is a whole-instance property; Validate checks it).
+func (in *Instance) CheckTask(t Task) error {
+	j := t.ID
+	switch {
+	case !finite(t.Pos.X) || !finite(t.Pos.Y):
+		return fmt.Errorf("model: task %d has non-finite position (%g, %g)", j, t.Pos.X, t.Pos.Y)
+	case !finite(t.Phi):
+		return fmt.Errorf("model: task %d has non-finite orientation %g", j, t.Phi)
+	case t.End <= t.Release:
+		return fmt.Errorf("model: task %d has empty window [%d, %d)", j, t.Release, t.End)
+	case t.Release < 0:
+		return fmt.Errorf("model: task %d released at negative slot %d", j, t.Release)
+	case !finite(t.Energy):
+		return fmt.Errorf("model: task %d has non-finite energy %g", j, t.Energy)
+	case t.Energy <= 0:
+		return fmt.Errorf("model: task %d requires non-positive energy %g", j, t.Energy)
+	case !finite(t.Weight):
+		return fmt.Errorf("model: task %d has non-finite weight %g", j, t.Weight)
+	case t.Weight < 0:
+		return fmt.Errorf("model: task %d has negative weight %g", j, t.Weight)
+	case in.Params.Tau > 0 && t.Duration() < 2*in.Params.Tau:
+		return fmt.Errorf("model: task %d duration %d slots violates t_e−t_r ≥ 2τ (τ=%d)",
+			j, t.Duration(), in.Params.Tau)
+	}
+	return nil
+}
+
+// finite reports whether f is neither NaN nor ±Inf.
+func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
 
 // ChargeableTasks returns T_i for every charger: the IDs of tasks the
 // charger can cover under some orientation, ascending.

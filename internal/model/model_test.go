@@ -224,6 +224,17 @@ func TestInstanceValidateErrors(t *testing.T) {
 		{func(in *Instance) { in.Tasks[0].Weight = -1 }, "negative weight"},
 		{func(in *Instance) { in.Tasks[0].End = in.Tasks[0].Release + 1 }, "2τ"},
 		{func(in *Instance) { in.Params.Alpha = 0 }, "Alpha"},
+		// Non-finite coordinates used to be accepted and silently collapse
+		// to a single spatial-grid cell; they must be rejected up front.
+		{func(in *Instance) { in.Chargers[0].Pos.X = math.NaN() }, "non-finite position"},
+		{func(in *Instance) { in.Chargers[2].Pos.Y = math.Inf(1) }, "non-finite position"},
+		{func(in *Instance) { in.Tasks[0].Pos.X = math.Inf(-1) }, "non-finite position"},
+		{func(in *Instance) { in.Tasks[1].Pos.Y = math.NaN() }, "non-finite position"},
+		{func(in *Instance) { in.Tasks[0].Phi = math.NaN() }, "non-finite orientation"},
+		{func(in *Instance) { in.Tasks[0].Energy = math.NaN() }, "non-finite energy"},
+		{func(in *Instance) { in.Tasks[1].Energy = math.Inf(1) }, "non-finite energy"},
+		{func(in *Instance) { in.Tasks[0].Weight = math.NaN() }, "non-finite weight"},
+		{func(in *Instance) { in.Tasks[1].Weight = math.Inf(1) }, "non-finite weight"},
 	}
 	for i, c := range cases {
 		in := smallInstance()

@@ -27,6 +27,12 @@ type metrics struct {
 	shardedRuns     atomic.Int64 // completed runs that took the shard-and-stitch path
 	shardComponents atomic.Int64 // components scheduled across those runs (Σ Result.Shards)
 
+	sessionsCreated   atomic.Int64 // sessions opened over the process lifetime
+	sessionsClosed    atomic.Int64 // sessions deleted
+	sessionMutations  atomic.Int64 // add/remove/complete mutations applied
+	sessionSolves     atomic.Int64 // successful session solves (create + PATCH)
+	sessionWarmReused atomic.Int64 // components adopted from warm starts (Σ Result.WarmReused)
+
 	mu       sync.Mutex
 	byStatus map[int]int64
 	kernel   core.KernelStats
@@ -93,6 +99,16 @@ type LatencySnapshot struct {
 	SumMS     float64   `json:"sum_ms"`
 }
 
+// SessionMetrics is the incremental-session section of the snapshot.
+type SessionMetrics struct {
+	Open       int64 `json:"open"`
+	Created    int64 `json:"created_total"`
+	Closed     int64 `json:"closed_total"`
+	Mutations  int64 `json:"mutations_total"`
+	Solves     int64 `json:"solves_total"`
+	WarmReused int64 `json:"warm_reused_components_total"`
+}
+
 // MetricsSnapshot is the JSON document GET /metrics returns.
 type MetricsSnapshot struct {
 	UptimeSeconds float64          `json:"uptime_seconds"`
@@ -107,9 +123,10 @@ type MetricsSnapshot struct {
 	Latency       LatencySnapshot  `json:"latency"`
 	Cache         CacheStats       `json:"cache"`
 	Kernel        core.KernelStats `json:"kernel"`
+	Sessions      SessionMetrics   `json:"sessions"`
 }
 
-func (m *metrics) snapshot(cache CacheStats, draining bool) MetricsSnapshot {
+func (m *metrics) snapshot(cache CacheStats, draining bool, sessionsOpen int) MetricsSnapshot {
 	snap := MetricsSnapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Requests:      m.requests.Load(),
@@ -121,6 +138,14 @@ func (m *metrics) snapshot(cache CacheStats, draining bool) MetricsSnapshot {
 		Queued:        m.queued.Load(),
 		Draining:      draining,
 		Cache:         cache,
+		Sessions: SessionMetrics{
+			Open:       int64(sessionsOpen),
+			Created:    m.sessionsCreated.Load(),
+			Closed:     m.sessionsClosed.Load(),
+			Mutations:  m.sessionMutations.Load(),
+			Solves:     m.sessionSolves.Load(),
+			WarmReused: m.sessionWarmReused.Load(),
+		},
 	}
 	m.mu.Lock()
 	for code, n := range m.byStatus {

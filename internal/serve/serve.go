@@ -13,6 +13,10 @@
 //	GET  /healthz     — liveness/readiness (503 once draining)
 //	GET  /metrics     — JSON metrics snapshot (metrics.go)
 //
+// plus the incremental session API of session.go (POST /v1/session and
+// friends), which pins a mutable compiled problem server-side and turns
+// task churn into delta patches plus warm-started solves.
+//
 // Load discipline: a bounded worker pool (Config.MaxConcurrent slots) with
 // a bounded wait queue (Config.QueueDepth) schedules at most MaxConcurrent
 // requests at once; a request arriving with the queue full is shed
@@ -35,6 +39,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -79,6 +84,11 @@ type Config struct {
 	// Default 8192.
 	MaxSlots int
 
+	// MaxSessions bounds the concurrently open incremental sessions
+	// (each pins a compiled problem and a warm start in memory); session
+	// creation beyond it is refused with 429. Default 64.
+	MaxSessions int
+
 	// CoreWorkers is core.Options.Workers for every scheduling run.
 	// The default 1 keeps requests on the sequential path — the service
 	// gets its parallelism from concurrent requests, and Workers never
@@ -112,6 +122,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxSlots <= 0 {
 		c.MaxSlots = 8192
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
 	if c.CoreWorkers <= 0 {
 		c.CoreWorkers = 1
 	}
@@ -127,18 +140,23 @@ type Server struct {
 	sem      chan struct{}
 	draining atomic.Bool
 	mux      *http.ServeMux
+
+	sessMu   sync.Mutex
+	sessions map[string]*session
 }
 
 // New builds a Server from the configuration.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		cache: newProblemCache(cfg.CacheSize, 4*cfg.CacheSize),
-		met:   newMetrics(),
-		sem:   make(chan struct{}, cfg.MaxConcurrent),
-		mux:   http.NewServeMux(),
+		cfg:      cfg,
+		cache:    newProblemCache(cfg.CacheSize, 4*cfg.CacheSize),
+		met:      newMetrics(),
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		mux:      http.NewServeMux(),
+		sessions: make(map[string]*session),
 	}
+	s.registerSessionRoutes()
 	s.mux.HandleFunc("/v1/schedule", s.handleSchedule)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -165,7 +183,7 @@ func (s *Server) CacheStats() CacheStats { return s.cache.stats() }
 
 // Metrics returns the full metrics snapshot served on /metrics.
 func (s *Server) Metrics() MetricsSnapshot {
-	return s.met.snapshot(s.cache.stats(), s.draining.Load())
+	return s.met.snapshot(s.cache.stats(), s.draining.Load(), s.SessionCount())
 }
 
 // scheduleRequest is the POST /v1/schedule body: the instance in the
@@ -264,18 +282,8 @@ func (s *Server) schedule(w http.ResponseWriter, r *http.Request, t0 time.Time) 
 
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req scheduleRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			return http.StatusRequestEntityTooLarge,
-				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit)
-		}
-		return http.StatusBadRequest, fmt.Errorf("malformed request: %v", err)
-	}
-	if dec.More() {
-		return http.StatusBadRequest, errors.New("malformed request: trailing data after JSON body")
+	if status, err := decodeStrictBody(r.Body, &req); err != nil {
+		return status, err
 	}
 	if len(req.Instance) == 0 {
 		return http.StatusBadRequest, errors.New("missing \"instance\"")
@@ -285,35 +293,13 @@ func (s *Server) schedule(w http.ResponseWriter, r *http.Request, t0 time.Time) 
 			fmt.Errorf("effective samples %d exceeds the limit %d", eff, s.cfg.MaxSamples)
 	}
 
-	// Admission: take a worker slot or a queue position; shed beyond.
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	select {
-	case s.sem <- struct{}{}:
-	default:
-		if s.met.queued.Add(1) > int64(s.cfg.QueueDepth) {
-			s.met.queued.Add(-1)
-			w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
-			return http.StatusTooManyRequests,
-				fmt.Errorf("queue full (%d scheduling, %d queued)", s.cfg.MaxConcurrent, s.cfg.QueueDepth)
-		}
-		select {
-		case s.sem <- struct{}{}:
-			s.met.queued.Add(-1)
-		case <-ctx.Done():
-			s.met.queued.Add(-1)
-			if r.Context().Err() != nil {
-				return statusClientGone, errors.New("client went away while queued")
-			}
-			w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
-			return http.StatusServiceUnavailable, errors.New("timed out waiting for a worker slot")
-		}
+	release, status, err := s.acquireSlot(ctx, r, w)
+	if err != nil {
+		return status, err
 	}
-	s.met.inFlight.Add(1)
-	defer func() {
-		s.met.inFlight.Add(-1)
-		<-s.sem
-	}()
+	defer release()
 
 	p, hash, hit, err := s.resolveProblem(req.Instance)
 	if err != nil {
@@ -372,6 +358,41 @@ func (s *Server) schedule(w http.ResponseWriter, r *http.Request, t0 time.Time) 
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 	return 0, nil
+}
+
+// acquireSlot is the admission control shared by the one-shot and session
+// scheduling paths: take a worker slot immediately or a bounded queue
+// position, shedding with 429 beyond the queue depth. On success the
+// returned release func must be deferred; on failure it returns the error
+// status to write (or statusClientGone when there is nobody left to read
+// it). ctx must already carry the request timeout.
+func (s *Server) acquireSlot(ctx context.Context, r *http.Request, w http.ResponseWriter) (release func(), status int, err error) {
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		if s.met.queued.Add(1) > int64(s.cfg.QueueDepth) {
+			s.met.queued.Add(-1)
+			w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+			return nil, http.StatusTooManyRequests,
+				fmt.Errorf("queue full (%d scheduling, %d queued)", s.cfg.MaxConcurrent, s.cfg.QueueDepth)
+		}
+		select {
+		case s.sem <- struct{}{}:
+			s.met.queued.Add(-1)
+		case <-ctx.Done():
+			s.met.queued.Add(-1)
+			if r.Context().Err() != nil {
+				return nil, statusClientGone, errors.New("client went away while queued")
+			}
+			w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+			return nil, http.StatusServiceUnavailable, errors.New("timed out waiting for a worker slot")
+		}
+	}
+	s.met.inFlight.Add(1)
+	return func() {
+		s.met.inFlight.Add(-1)
+		<-s.sem
+	}, 0, nil
 }
 
 // resolveProblem turns the raw instance bytes into a compiled Problem via

@@ -69,10 +69,19 @@ func run(p *core.Problem, s core.Schedule, detailed bool) (Outcome, [][]float64)
 		curPol[i] = -1
 		curTheta[i] = math.NaN()
 	}
+	// Assignments past a charger's component horizon deliver exactly zero
+	// energy (every reachable task has ended); real hardware would never
+	// execute such a rotation. Clipping them to -1 here makes the switch
+	// count a function of the schedule's effective content, so monolithic
+	// and sharded runs — which differ only in such padding cells — count
+	// identically. Before this clip, a monolithic run at Colors > 1 could
+	// hop between zero-gain policies in the padding region and report
+	// spurious extra switches.
+	hor := p.AssignedHorizons()
 	for k := 0; k < K; k++ {
 		for i := 0; i < n; i++ {
 			next := -1
-			if k < len(s.Policy[i]) {
+			if k < len(s.Policy[i]) && k < hor[i] {
 				next = s.Policy[i][k]
 			}
 			frac := 1.0

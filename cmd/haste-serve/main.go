@@ -7,6 +7,15 @@
 //	haste-serve [--addr :8080] [--cache 64] [--concurrency N] [--queue 64]
 //	            [--timeout 30s] [--drain-timeout 10s] [--core-workers 1]
 //	            [--max-body 8388608] [--max-samples 1024] [--max-sessions 64]
+//	            [--debug-addr host:port] [--log-level info] [--log-format text]
+//
+// Observability: --log-level/--log-format configure the structured access
+// and session-lifecycle log on stderr (text or json; the level gates what
+// slog emits). --debug-addr mounts net/http/pprof and /debug/vars on a
+// separate listener so profiling never shares a port — or a load
+// balancer — with the service traffic. /metrics speaks both JSON and the
+// Prometheus text format (content negotiation), and any schedule or
+// session request with "trace": true returns its per-phase breakdown.
 //
 // Endpoints: POST /v1/schedule, GET /healthz, GET /metrics, plus the
 // incremental session API — POST /v1/session, GET/PATCH/DELETE
@@ -22,10 +31,13 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,7 +65,14 @@ func run(args []string, out *os.File) error {
 	maxBody := fs.Int64("max-body", 8<<20, "request body limit, bytes")
 	maxSamples := fs.Int("max-samples", 1024, "Monte-Carlo sample cap per request")
 	maxSessions := fs.Int("max-sessions", 64, "concurrently open incremental sessions")
+	debugAddr := fs.String("debug-addr", "", "separate listener for net/http/pprof and /debug/vars (off when empty)")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
+	logFormat := fs.String("log-format", "text", "log format on stderr: text or json")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
 		return err
 	}
 
@@ -66,6 +85,7 @@ func run(args []string, out *os.File) error {
 		MaxSamples:     *maxSamples,
 		MaxSessions:    *maxSessions,
 		CoreWorkers:    *coreWorkers,
+		Logger:         logger,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -73,6 +93,17 @@ func run(args []string, out *os.File) error {
 		return err
 	}
 	fmt.Fprintf(out, "haste-serve listening on %s\n", ln.Addr())
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		dbg := &http.Server{Handler: debugMux()}
+		go func() { _ = dbg.Serve(dln) }()
+		defer dbg.Close()
+		fmt.Fprintf(out, "haste-serve debug listening on %s\n", dln.Addr())
+	}
 
 	httpSrv := &http.Server{Handler: svc}
 	errCh := make(chan error, 1)
@@ -101,4 +132,44 @@ func run(args []string, out *os.File) error {
 	fmt.Fprintf(out, "haste-serve: drained (%d requests, %d scheduled, cache %d hits / %d misses)\n",
 		m.Requests, m.Scheduled, m.Cache.Hits, m.Cache.Misses)
 	return nil
+}
+
+// buildLogger assembles the stderr slog logger from the CLI flags.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown --log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown --log-format %q (want text or json)", format)
+	}
+}
+
+// debugMux mounts the pprof handlers and the expvar document the way
+// net/http/pprof would on the default mux, but on a dedicated mux so the
+// debug listener exposes nothing else.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
 }

@@ -58,14 +58,38 @@ func TestServeLifecycle(t *testing.T) {
 	}
 	base := "http://" + strings.TrimPrefix(line, prefix)
 
-	// Health first: the service must report ok before any scheduling.
+	// Health first: the service must report ok before any scheduling, and
+	// identify the build that is answering (debug.ReadBuildInfo is always
+	// available in a go-build binary).
 	res, err := http.Get(base + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
+	hraw, _ := io.ReadAll(res.Body)
 	res.Body.Close()
 	if res.StatusCode != http.StatusOK {
 		t.Fatalf("healthz status %d", res.StatusCode)
+	}
+	var health struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		GoVersion     string  `json:"go_version"`
+		Module        string  `json:"module"`
+	}
+	if err := json.Unmarshal(hraw, &health); err != nil {
+		t.Fatalf("healthz: %v\n%s", err, hraw)
+	}
+	if health.Status != "ok" {
+		t.Fatalf("healthz status %q, want ok", health.Status)
+	}
+	if health.UptimeSeconds <= 0 {
+		t.Fatalf("healthz uptime %v, want > 0", health.UptimeSeconds)
+	}
+	if !strings.HasPrefix(health.GoVersion, "go") {
+		t.Fatalf("healthz go_version %q", health.GoVersion)
+	}
+	if health.Module != "haste" {
+		t.Fatalf("healthz module %q, want haste", health.Module)
 	}
 
 	// Schedule the same instance twice: first compiles, second must be a
@@ -162,6 +186,162 @@ func TestServeLifecycle(t *testing.T) {
 	// 4 requests total: healthz, two schedules, the metrics read.
 	if !strings.Contains(out, "drained (4 requests, 2 scheduled, cache 1 hits / 1 misses)") {
 		t.Fatalf("unexpected drain summary in %q", out)
+	}
+}
+
+// TestDebugAndLogging starts the binary with the debug listener and the
+// JSON access log: pprof and expvar answer on the separate port, a traced
+// schedule request returns its phase breakdown with the X-Trace-Id header,
+// and the access log on stderr carries the same trace id.
+func TestDebugAndLogging(t *testing.T) {
+	bin := buildBinary(t)
+	cmd := exec.Command(bin, "--addr", "127.0.0.1:0", "--debug-addr", "127.0.0.1:0",
+		"--log-format", "json", "--log-level", "info", "--drain-timeout", "5s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	sc := bufio.NewScanner(stdout)
+	readAddr := func(prefix string) string {
+		t.Helper()
+		if !sc.Scan() {
+			t.Fatalf("stdout ended early; stderr: %s", stderr.String())
+		}
+		line := sc.Text()
+		if !strings.HasPrefix(line, prefix) {
+			t.Fatalf("unexpected line %q, want prefix %q", line, prefix)
+		}
+		return "http://" + strings.TrimPrefix(line, prefix)
+	}
+	base := readAddr("haste-serve listening on ")
+	debug := readAddr("haste-serve debug listening on ")
+
+	// The debug listener serves the pprof index and the expvar document —
+	// and only those: service routes must not leak onto it.
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/vars"} {
+		res, err := http.Get(debug + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(res.Body)
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, res.StatusCode, raw)
+		}
+		if path == "/debug/vars" {
+			var vars map[string]json.RawMessage
+			if err := json.Unmarshal(raw, &vars); err != nil {
+				t.Fatalf("/debug/vars not JSON: %v", err)
+			}
+			if _, ok := vars["memstats"]; !ok {
+				t.Fatalf("/debug/vars lacks memstats: %s", raw)
+			}
+		}
+	}
+	if res, err := http.Get(debug + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		res.Body.Close()
+		if res.StatusCode != http.StatusNotFound {
+			t.Fatalf("service route on the debug listener: status %d", res.StatusCode)
+		}
+	}
+
+	// A traced schedule request: phase breakdown in the body, trace id
+	// matching the X-Trace-Id header.
+	in := workload.SmallScale().Generate(rand.New(rand.NewSource(9)))
+	var inst bytes.Buffer
+	if err := instio.Save(&inst, in, ""); err != nil {
+		t.Fatal(err)
+	}
+	body := []byte(`{"instance":` + strings.TrimSpace(inst.String()) + `,"trace":true}`)
+	res, err := http.Post(base+"/v1/schedule", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("schedule status %d: %s", res.StatusCode, raw)
+	}
+	var resp struct {
+		TraceID string `json:"trace_id"`
+		Trace   []struct {
+			Name string `json:"name"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatalf("schedule response: %v\n%s", err, raw)
+	}
+	if resp.TraceID == "" || resp.TraceID != res.Header.Get("X-Trace-Id") {
+		t.Fatalf("trace id %q vs header %q", resp.TraceID, res.Header.Get("X-Trace-Id"))
+	}
+	names := make(map[string]bool)
+	for _, n := range resp.Trace {
+		names[n.Name] = true
+	}
+	for _, phase := range []string{"decode", "acquire_slot", "resolve_problem", "solve"} {
+		if !names[phase] {
+			t.Fatalf("trace missing %s root: %s", phase, raw)
+		}
+	}
+
+	// The Prometheus scrape works over the real wire too.
+	res, err = http.Get(base + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	praw, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if !strings.Contains(string(praw), "# TYPE haste_request_duration_seconds histogram") {
+		t.Fatalf("prometheus scrape lacks the latency histogram:\n%s", praw)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("exit: %v; stderr: %s", err, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("process did not exit after SIGTERM")
+	}
+
+	// The JSON access log must carry the schedule request with its trace id.
+	var logged bool
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		var entry struct {
+			Msg     string `json:"msg"`
+			Path    string `json:"path"`
+			TraceID string `json:"trace_id"`
+			Status  int    `json:"status"`
+		}
+		if err := json.Unmarshal([]byte(line), &entry); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", line, err)
+		}
+		if entry.Msg == "request" && entry.Path == "/v1/schedule" {
+			if entry.TraceID != resp.TraceID || entry.Status != http.StatusOK {
+				t.Fatalf("access log entry %+v, want trace id %q status 200", entry, resp.TraceID)
+			}
+			logged = true
+		}
+	}
+	if !logged {
+		t.Fatalf("no access-log line for the schedule request; stderr: %s", stderr.String())
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 
 	"haste/internal/core"
 	"haste/internal/experiments"
+	"haste/internal/obs"
 	"haste/internal/report"
 )
 
@@ -92,6 +93,7 @@ func runCmd(args []string) error {
 	outDir := fs.String("out", "", "write each experiment to <dir>/<id>.<ext> instead of stdout")
 	quick := fs.Bool("quick", false, "shrink workloads for a fast smoke run")
 	summary := fs.Bool("summary", false, "append the paper-style headline claims under each table")
+	trace := fs.Bool("trace", false, "record solve phase spans and print a per-phase summary on stderr")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
@@ -153,9 +155,19 @@ func runCmd(args []string) error {
 
 	for _, e := range todo {
 		start := time.Now()
-		tbl, err := e.Run(opts)
+		eopts := opts
+		if *trace {
+			// One trace per experiment so the aggregated summary reads
+			// per-figure; the forest of every solve folds into phase paths.
+			eopts.Trace = obs.New()
+		}
+		tbl, err := e.Run(eopts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if eopts.Trace != nil {
+			fmt.Fprintf(os.Stderr, "trace summary (%s):\n", e.ID)
+			obs.WriteSummary(os.Stderr, eopts.Trace.Tree())
 		}
 		w := io.Writer(os.Stdout)
 		var f *os.File
@@ -224,6 +236,8 @@ flags for run:
   --summary       append the paper-style headline claims
   --csv           shorthand for --format csv
   --quick         shrink workloads for a fast smoke run
+  --trace         print a per-phase timing summary on stderr (also on eval,
+                  where it prints the full phase tree of each solve)
   --cpuprofile F  write a pprof CPU profile of the run to F
   --memprofile F  write a pprof heap profile at exit to F
                   (inspect either with "go tool pprof F")`)

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"haste/internal/model"
+	"haste/internal/obs"
 )
 
 // This file is the fleet-scale entry point of the shard-and-stitch
@@ -45,7 +46,7 @@ func DecomposeInstance(in *model.Instance) ([]Component, error) {
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	comps, _ := coverageComponents(len(in.Chargers), len(in.Tasks), chargeableRows(in))
+	comps, _ := coverageComponents(len(in.Chargers), len(in.Tasks), chargeableRows(in, obs.SpanRef{}))
 	return comps, nil
 }
 
@@ -69,8 +70,11 @@ func ScheduleSharded(in *model.Instance, opt Options) (Result, error) {
 		return Result{Schedule: sched}, nil
 	}
 
-	rows := chargeableRows(in)
+	root := opt.Trace.Start("solve")
+	rows := chargeableRows(in, root)
+	dsp := root.Start("decompose")
 	comps, _ := coverageComponents(n, len(in.Tasks), rows)
+	dsp.Int("components", int64(len(comps))).End()
 	rows = nil // decomposition done; let the arena be reclaimed
 
 	plan := drawColorPlan(opt.Rng, n, K, C, N)
@@ -89,42 +93,51 @@ func ScheduleSharded(in *model.Instance, opt Options) (Result, error) {
 		workers = len(runnable)
 	}
 	var next atomic.Int64
-	run := func() {
+	run := func(w int) {
 		for {
 			idx := int(next.Add(1)) - 1
 			if idx >= len(runnable) {
 				return
 			}
 			ci := runnable[idx]
+			csp := root.Start("component").
+				Int("chargers", int64(len(comps[ci].Chargers))).
+				Int("tasks", int64(len(comps[ci].Tasks))).
+				Int("worker", int64(w))
 			// The sub-Problem lives only for this call: compiled, run,
 			// reduced to its Result, then garbage. At no point does a
-			// global Gamma or kernel exist.
-			sub, err := NewProblem(sliceInstance(in, comps[ci]))
+			// global Gamma or kernel exist. The transient compile records
+			// its own "compile" subtree under the component span.
+			sub, err := newProblem(sliceInstance(in, comps[ci]), csp)
 			if err != nil {
 				errs[ci] = err
+				csp.End()
 				continue
 			}
 			if sub.K == 0 {
+				csp.End()
 				continue
 			}
-			results[ci], _ = runComponent(nil, sub, comps[ci], K, opt, &plan)
+			results[ci], _ = runComponent(nil, sub, comps[ci], K, opt, &plan, csp)
+			csp.End()
 		}
 	}
 	if workers <= 1 {
-		run()
+		run(0)
 	} else {
 		var wg sync.WaitGroup
 		wg.Add(workers - 1)
 		for w := 1; w < workers; w++ {
-			go func() {
+			go func(w int) {
 				defer wg.Done()
-				run()
-			}()
+				run(w)
+			}(w)
 		}
-		run()
+		run(0)
 		wg.Wait()
 	}
 
+	ssp := root.Start("stitch")
 	res := Result{Schedule: sched}
 	for _, ci := range runnable {
 		if errs[ci] != nil {
@@ -147,5 +160,9 @@ func ScheduleSharded(in *model.Instance, opt Options) (Result, error) {
 		res.Kernel.add(results[ci].Kernel)
 		res.Shards++
 	}
+	ssp.End()
+	root.Int("shards", int64(res.Shards))
+	root.End()
+	res.Trace = opt.Trace
 	return res, nil
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"math/rand"
 	"runtime"
+
+	"haste/internal/obs"
 )
 
 // Options configures the centralized offline algorithm.
@@ -63,13 +65,16 @@ type Options struct {
 
 	// KernelStats collects evaluation-kernel work counters (calls, cover
 	// entries visited, entries skipped by windows and saturation pruning)
-	// into Result.Kernel. Requires the sequential path (Workers == 1):
-	// the counters live on the per-sample states and the parallel
-	// policy-fan would race on them, so runs with Workers > 1 ignore the
-	// flag. Instrumented runs take the per-state scan instead of the
-	// batched one — same results, slightly slower, exact counts. Sharded
-	// runs keep the counters at any worker count (each component runs
-	// sequentially) and aggregate them in canonical component order.
+	// into Result.Kernel, at any worker count. The counters live on the
+	// per-sample states; the sample-fanned parallel path touches disjoint
+	// states, and the policy fan (which evaluates one state concurrently)
+	// counts into per-chunk scratch collectors merged at the reduction
+	// barrier — so parallel counters equal the sequential run's exactly
+	// (the same set of marginals is evaluated either way; kernel_test.go
+	// pins the parity). Instrumented runs take the per-state scan instead
+	// of the batched one — same results, slightly slower, exact counts.
+	// Sharded runs aggregate per-component counters in canonical
+	// component order.
 	KernelStats bool
 
 	// Shard selects the shard-and-stitch decomposition (shard.go): the
@@ -101,6 +106,17 @@ type Options struct {
 	// CollectWarm asks a sharded run to return a WarmStart in Result.Warm
 	// for use as the next run's Incumbent.
 	CollectWarm bool
+
+	// Trace, when non-nil, records a phase-level span tree of the run —
+	// greedy/evaluate for a monolithic solve; decompose, per-component
+	// solves (with component size, worker id and warm-adoption flag) and
+	// stitch for a sharded one — into Result.Trace, with the run's
+	// shard/warm/kernel counters folded into the root span's attributes.
+	// The probe is observational only: spans bracket whole phases, never
+	// inner-loop iterations, so a traced run's schedule is bit-identical
+	// to an untraced one, and a nil Trace costs nothing (obs's disabled
+	// path is alloc-free, pinned by testing.AllocsPerRun in trace_test.go).
+	Trace *obs.Trace
 }
 
 // DefaultParallelThreshold is the Options.ParallelThreshold used when the
@@ -176,6 +192,10 @@ type Result struct {
 	// Options.CollectWarm was set (sharded runs only).
 	WarmReused int
 	Warm       *WarmStart
+
+	// Trace echoes Options.Trace after the run recorded its phase tree
+	// into it (nil when tracing was off). Render with Trace.Tree().
+	Trace *obs.Trace
 }
 
 // TabularGreedy is Algorithm 2, the centralized offline algorithm for
@@ -219,21 +239,37 @@ func TabularGreedyCtx(ctx context.Context, p *Problem, opt Options) (Result, err
 // never-cancelled runs stay on the canonical schedule.
 func tabularGreedy(done <-chan struct{}, p *Problem, opt Options) (Result, bool) {
 	opt = opt.normalize()
+	root := opt.Trace.Start("solve")
+	var res Result
+	var ok bool
 	if opt.useShards(p) {
-		return shardedGreedy(done, p, opt)
+		res, ok = shardedGreedy(done, p, opt, root)
+	} else {
+		res, ok = monolithicGreedy(done, p, opt, nil, root)
 	}
-	return monolithicGreedy(done, p, opt, nil)
+	if ok {
+		root.Int("shards", int64(res.Shards)).Int("warm_reused", int64(res.WarmReused))
+		if opt.KernelStats {
+			root.Int("kernel_calls", res.Kernel.Calls).
+				Int("kernel_visited", res.Kernel.Visited).
+				Int("kernel_offered", res.Kernel.Offered).
+				Int("kernel_pruned", res.Kernel.Pruned)
+		}
+		res.Trace = opt.Trace
+	}
+	root.End()
+	return res, ok
 }
 
 // monolithicGreedy is the classic single-problem body of Algorithm 2.
 // opt must already be normalized. plan, when non-nil, supplies every
 // random draw of the run (see colorPlan); the sharded path uses it to
 // hand each component its slice of the globally drawn color tables, and
-// a nil plan draws from opt.Rng exactly as before.
-func monolithicGreedy(done <-chan struct{}, p *Problem, opt Options, plan *colorPlan) (Result, bool) {
-	if opt.Workers > 1 {
-		opt.KernelStats = false // counters would race under the policy fan
-	}
+// a nil plan draws from opt.Rng exactly as before. parent is the span
+// the run's greedy/evaluate phases are recorded under (the run's root
+// for a monolithic solve, the component span for a sharded sub-run);
+// the zero SpanRef disables recording.
+func monolithicGreedy(done <-chan struct{}, p *Problem, opt Options, plan *colorPlan, parent obs.SpanRef) (Result, bool) {
 	n, K, C, N := len(p.In.Chargers), p.K, opt.Colors, opt.Samples
 
 	sched := NewSchedule(n, K)
@@ -285,6 +321,9 @@ func monolithicGreedy(done <-chan struct{}, p *Problem, opt Options, plan *color
 	sel := newSelector(p, opt)
 	defer sel.close()
 
+	gsp := parent.Start("greedy").
+		Int("chargers", int64(n)).Int("slots", int64(K)).
+		Int("colors", int64(C)).Int("samples", int64(N))
 	affected := make([]int, 0, N)
 	for c := 0; c < C; c++ {
 		for k := 0; k < K; k++ {
@@ -326,7 +365,10 @@ func monolithicGreedy(done <-chan struct{}, p *Problem, opt Options, plan *color
 			sched.Policy[i][k] = int(q[i][k*C+c])
 		}
 	}
+	gsp.End()
+	esp := parent.Start("evaluate")
 	res := Result{Schedule: sched, RUtility: Evaluate(p, sched)}
+	esp.End()
 	if opt.KernelStats {
 		for _, st := range states {
 			res.Kernel.add(st.KernelStats())

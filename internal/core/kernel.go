@@ -52,9 +52,10 @@ type CoverEntry struct {
 
 // KernelStats counts the work of the flat kernel on one EnergyState (or,
 // summed, on a scheduling run). Collection is opt-in per state (see
-// EnableKernelStats) because the counters would be a data race under the
-// policy-fanned parallel path; TabularGreedy enables them on its sample
-// states when Workers == 1.
+// EnableKernelStats); TabularGreedy enables it on its sample states when
+// Options.KernelStats is set. The policy-fanned parallel path evaluates
+// one state concurrently, so there each chunk counts into a private
+// collector (selector.chunkStats) merged at the reduction barrier.
 type KernelStats struct {
 	Calls   int64 // flat marginal-kernel invocations
 	Visited int64 // cover entries actually scanned
@@ -318,10 +319,11 @@ func (p *Problem) StatesInUse() int64 {
 }
 
 // EnableKernelStats turns on work counting for this state and returns the
-// collector (idempotent). Counting is opt-in because the single-sample
-// parallel path evaluates policies of one state concurrently — shared
-// counters there would be a data race. Reset and AcquireState disable
-// collection again.
+// collector (idempotent). The single-sample parallel path evaluates
+// policies of one state concurrently; it bypasses this collector with
+// per-chunk scratch collectors (marginalInto) and merges them in at the
+// reduction barrier, so the counts stay exact at any worker count. Reset
+// and AcquireState disable collection again.
 func (es *EnergyState) EnableKernelStats() *KernelStats {
 	if es.stats == nil {
 		es.stats = &KernelStats{}
@@ -353,12 +355,15 @@ func (es *EnergyState) scanList(fp int) []CoverEntry {
 // marginalFlat is Marginal/MarginalScaled on the flat kernel. frac scales
 // every per-slot contribution; scaled is false on the frac == 1 path,
 // which skips the multiply and the de == 0 re-check (compiled entries are
-// nonzero, and the reference only re-checks after scaling).
-func (es *EnergyState) marginalFlat(i, k, pol int, frac float64, scaled bool) float64 {
+// nonzero, and the reference only re-checks after scaling). st is the
+// kernel-stats collector to count into — es.stats for the sequential
+// callers, a per-chunk scratch collector under the parallel policy fan
+// (marginalInto), nil for none.
+func (es *EnergyState) marginalFlat(i, k, pol int, frac float64, scaled bool, st *KernelStats) float64 {
 	kn := &es.p.kern
 	fp := kn.flatPol(i, pol)
 	k32 := int32(k)
-	if st := es.stats; st != nil {
+	if st != nil {
 		st.Calls++
 		st.Offered += int64(len(kn.entries[fp]))
 	}
@@ -366,7 +371,7 @@ func (es *EnergyState) marginalFlat(i, k, pol int, frac float64, scaled bool) fl
 		return 0
 	}
 	list := es.scanList(fp)
-	if st := es.stats; st != nil {
+	if st != nil {
 		st.Visited += int64(len(list))
 	}
 	energy, uval := es.energy, es.uval

@@ -414,7 +414,8 @@ func TestRestoreUnsaturates(t *testing.T) {
 }
 
 // KernelStats must balance (Offered = Visited + Skipped), see pruning in a
-// saturating run, and stay disabled under the parallel fan.
+// saturating run, and survive the parallel fan with counts equal to the
+// sequential run's.
 func TestKernelStatsCounters(t *testing.T) {
 	rng := rand.New(rand.NewSource(47))
 	in := kernelProneInstance(rng, 3, 12)
@@ -438,11 +439,47 @@ func TestKernelStatsCounters(t *testing.T) {
 	}
 
 	par := TabularGreedy(p, Options{Colors: 2, PreferStay: true, Workers: 2, KernelStats: true})
-	if par.Kernel != (KernelStats{}) {
-		t.Fatalf("parallel run collected stats: %+v", par.Kernel)
+	if par.Kernel != ks {
+		t.Fatalf("parallel stats diverge from sequential: %+v != %+v", par.Kernel, ks)
 	}
 	if err := compareSchedules(res.Schedule, par.Schedule); err != nil {
 		t.Fatalf("instrumented and parallel schedules diverge: %v", err)
+	}
+}
+
+// Regression for the Workers > 1 stats loss: counters used to be silently
+// zeroed whenever the pool could start. Both parallel fan shapes — the
+// sample fan (Colors > 1: disjoint states per chunk) and the policy fan
+// (Colors == 1: one state, per-chunk scratch collectors merged at the
+// barrier) — must now report exactly the sequential run's counts at any
+// worker count, with the schedule bit-identical throughout. The forced
+// ParallelThreshold guarantees the pool actually engages.
+func TestKernelStatsParallelParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	in := kernelProneInstance(rng, 4, 16)
+	for j := range in.Tasks {
+		in.Tasks[j].Energy = 1 + rng.Float64()*10
+	}
+	p := mustProblem(t, in)
+	for _, colors := range []int{1, 3} { // 1 → policy fan, 3 → sample fan
+		base := Options{Colors: colors, PreferStay: true, KernelStats: true, ParallelThreshold: 1}
+		seq := base
+		seq.Workers = 1
+		ref := TabularGreedy(p, seq)
+		if ref.Kernel.Calls == 0 {
+			t.Fatalf("C=%d: sequential run counted nothing: %+v", colors, ref.Kernel)
+		}
+		for _, workers := range []int{2, 4, 7} {
+			opt := base
+			opt.Workers = workers
+			got := TabularGreedy(p, opt)
+			if got.Kernel != ref.Kernel {
+				t.Errorf("C=%d workers=%d: stats %+v, want %+v", colors, workers, got.Kernel, ref.Kernel)
+			}
+			if err := compareSchedules(ref.Schedule, got.Schedule); err != nil {
+				t.Errorf("C=%d workers=%d: schedule diverges: %v", colors, workers, err)
+			}
+		}
 	}
 }
 

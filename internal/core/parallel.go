@@ -45,14 +45,16 @@ func (wp *workerPool) close() { close(wp.work) }
 
 // runChunks splits [0, total) into at most wp.n contiguous chunks and runs
 // fn on each concurrently, returning when all are done. The chunk
-// boundaries depend only on total and wp.n, never on timing.
-func (wp *workerPool) runChunks(total int, fn func(lo, hi int)) {
+// boundaries depend only on total and wp.n, never on timing; fn receives
+// its chunk's index ch ∈ [0, wp.n) so callers can address per-chunk
+// scratch (the policy fan's kernel-stats collectors) without contention.
+func (wp *workerPool) runChunks(total int, fn func(ch, lo, hi int)) {
 	chunks := wp.n
 	if chunks > total {
 		chunks = total
 	}
 	if chunks <= 1 {
-		fn(0, total)
+		fn(0, 0, total)
 		return
 	}
 	var wg sync.WaitGroup
@@ -66,13 +68,13 @@ func (wp *workerPool) runChunks(total int, fn func(lo, hi int)) {
 		}
 		if ch == chunks-1 {
 			// The caller runs the last chunk itself, then waits.
-			fn(lo, hi)
+			fn(ch, lo, hi)
 			break
 		}
-		clo, chi := lo, hi
+		cch, clo, chi := ch, lo, hi
 		wp.work <- func() {
 			defer wg.Done()
-			fn(clo, chi)
+			fn(cch, clo, chi)
 		}
 		lo = hi
 	}
@@ -92,6 +94,15 @@ type selector struct {
 	gains      []float64   // per-policy gains, maxPol wide
 	buf        []float64   // per-(sample, policy) marginals, N·maxPol wide
 	acc        []float64   // per-sample accumulators of the batched scan, N wide
+
+	// chunkStats are the policy fan's per-chunk kernel-stats collectors
+	// (nil unless stats collection and the pool are both on): the fan
+	// evaluates many policies of ONE state concurrently, so the workers
+	// cannot share that state's counter — each chunk counts into its own
+	// slot and selectPolicy merges them into the state's collector at the
+	// reduction barrier. Counts are deterministic: chunking partitions
+	// the same set of marginal evaluations the sequential scan performs.
+	chunkStats []KernelStats
 }
 
 func newSelector(p *Problem, opt Options) *selector {
@@ -120,6 +131,9 @@ func newSelector(p *Problem, opt Options) *selector {
 	if opt.Workers > 1 && opt.Samples*maxPol >= s.threshold {
 		s.pool = newWorkerPool(opt.Workers)
 		s.buf = make([]float64, opt.Samples*maxPol)
+		if s.stats {
+			s.chunkStats = make([]KernelStats, opt.Workers)
+		}
 	}
 	return s
 }
@@ -148,8 +162,10 @@ func (s *selector) selectPolicy(states []*EnergyState, affected []int, i, k, pre
 	}
 	if len(affected) > 1 {
 		// Fan over samples: worker w computes the full per-policy marginal
-		// row of its slice of the affected samples.
-		s.pool.runChunks(len(affected), func(lo, hi int) {
+		// row of its slice of the affected samples. Each sample's state —
+		// kernel-stats collector included — is touched by exactly one
+		// chunk, so instrumented runs count here without extra machinery.
+		s.pool.runChunks(len(affected), func(_, lo, hi int) {
 			for idx := lo; idx < hi; idx++ {
 				st := states[affected[idx]]
 				row := s.buf[idx*nPol : (idx+1)*nPol]
@@ -169,16 +185,34 @@ func (s *selector) selectPolicy(states []*EnergyState, affected []int, i, k, pre
 		}
 	} else {
 		// One affected sample (the whole C = 1 regime): fan over policies
-		// instead; each gains slot is written by exactly one worker.
-		s.pool.runChunks(nPol, func(lo, hi int) {
+		// instead; each gains slot is written by exactly one worker. The
+		// workers all evaluate the same state, so instrumented runs hand
+		// each chunk a private stats collector and merge them below, at
+		// the barrier — the counts are exactly the sequential scan's.
+		cs := s.chunkStats
+		for ci := range cs {
+			cs[ci] = KernelStats{}
+		}
+		s.pool.runChunks(nPol, func(ch, lo, hi int) {
+			var st *KernelStats
+			if cs != nil {
+				st = &cs[ch]
+			}
 			for pol := lo; pol < hi; pol++ {
 				var gain float64
 				for _, smp := range affected {
-					gain += states[smp].Marginal(i, k, pol)
+					gain += states[smp].marginalInto(i, k, pol, st)
 				}
 				s.gains[pol] = gain
 			}
 		})
+		if cs != nil && len(affected) == 1 {
+			if dst := states[affected[0]].stats; dst != nil {
+				for ci := range cs {
+					dst.add(cs[ci])
+				}
+			}
+		}
 	}
 	return argmaxPolicy(s.gains[:nPol], prev, s.preferStay)
 }
@@ -197,7 +231,7 @@ func (s *selector) apply(states []*EnergyState, affected []int, i, k, pol int) {
 		}
 		return
 	}
-	s.pool.runChunks(len(affected), func(lo, hi int) {
+	s.pool.runChunks(len(affected), func(_, lo, hi int) {
 		for idx := lo; idx < hi; idx++ {
 			states[affected[idx]].Apply(i, k, pol)
 		}

@@ -20,6 +20,7 @@ import (
 	"haste/internal/dominant"
 	"haste/internal/geom"
 	"haste/internal/model"
+	"haste/internal/obs"
 )
 
 // Problem is a HASTE instance with everything precomputed that the
@@ -88,17 +89,33 @@ type Problem struct {
 // compile (the grid feeds dominant extraction the chargeable tasks in
 // the same ascending order the full scan did).
 func NewProblem(in *model.Instance) (*Problem, error) {
+	return newProblem(in, obs.SpanRef{})
+}
+
+// NewProblemTraced is NewProblem with the compile phases — grid build,
+// slot-energy rows, dominant extraction, kernel compile — recorded as a
+// "compile" span tree on tr. A nil tr is exactly NewProblem; the probe
+// only observes, so the compiled Problem is identical either way.
+func NewProblemTraced(in *model.Instance, tr *obs.Trace) (*Problem, error) {
+	return newProblem(in, tr.Root())
+}
+
+func newProblem(in *model.Instance, parent obs.SpanRef) (*Problem, error) {
+	sp := parent.Start("compile")
+	defer sp.End()
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	p := &Problem{
 		In:        in,
 		K:         in.Horizon(),
-		rows:      chargeableRows(in),
+		rows:      chargeableRows(in, sp),
 		compsOnce: new(sync.Once),
 		subsOnce:  new(sync.Once),
 	}
+	dsp := sp.Start("dominant_extract")
 	p.Gamma = make([][]dominant.Policy, len(in.Chargers))
+	nPols := 0
 	var ids []int // candidate buffer, reused across chargers
 	for i := range in.Chargers {
 		ids = ids[:0]
@@ -106,8 +123,13 @@ func NewProblem(in *model.Instance) (*Problem, error) {
 			ids = append(ids, int(e.Task))
 		}
 		p.Gamma[i] = dominant.ExtractSubset(in, i, ids)
+		nPols += len(p.Gamma[i])
 	}
+	dsp.Int("policies", int64(nPols)).End()
+	ksp := sp.Start("kernel_compile")
 	p.kern = compileKernel(p)
+	ksp.End()
+	sp.Int("chargers", int64(len(in.Chargers))).Int("tasks", int64(len(in.Tasks)))
 	return p, nil
 }
 
@@ -116,18 +138,22 @@ func NewProblem(in *model.Instance) (*Problem, error) {
 // of it, the exact Chargeable predicate filters them, and the survivors
 // get their per-slot energy — the same expression, evaluated on the same
 // (charger, task) pairs, as the dense-era table. One arena backs all
-// rows; offsets are resolved after the arena stops growing.
-func chargeableRows(in *model.Instance) [][]CoverEntry {
+// rows; offsets are resolved after the arena stops growing. parent
+// receives the grid_build / slot_energy_rows phase spans (zero = off).
+func chargeableRows(in *model.Instance, parent obs.SpanRef) [][]CoverEntry {
 	n := len(in.Chargers)
 	rows := make([][]CoverEntry, n)
 	if len(in.Tasks) == 0 {
 		return rows
 	}
+	gsp := parent.Start("grid_build")
 	pts := make([]geom.Point, len(in.Tasks))
 	for j := range in.Tasks {
 		pts[j] = in.Tasks[j].Pos
 	}
 	grid := geom.NewGridIndex(pts, in.Params.Radius)
+	gsp.End()
+	rsp := parent.Start("slot_energy_rows")
 	offs := make([]int, n+1)
 	var arena []CoverEntry
 	var buf []int32
@@ -150,6 +176,7 @@ func chargeableRows(in *model.Instance) [][]CoverEntry {
 	for i := range rows {
 		rows[i] = arena[offs[i]:offs[i+1]:offs[i+1]]
 	}
+	rsp.Int("entries", int64(len(arena))).End()
 	return rows
 }
 
@@ -327,7 +354,19 @@ func (es *EnergyState) Energy(j int) float64 { return es.energy[j] }
 // bit-identical by contract.
 func (es *EnergyState) Marginal(i, k, pol int) float64 {
 	if es.p.kern.linear {
-		return es.marginalFlat(i, k, pol, 1, false)
+		return es.marginalFlat(i, k, pol, 1, false, es.stats)
+	}
+	return es.marginalGeneric(i, k, pol)
+}
+
+// marginalInto is Marginal with the kernel-stats collector overridden:
+// the parallel policy fan evaluates many policies of one state
+// concurrently, so it hands each chunk a private collector (merged at
+// the reduction barrier) instead of racing on es.stats. A nil st counts
+// nothing; the gain is identical to Marginal's either way.
+func (es *EnergyState) marginalInto(i, k, pol int, st *KernelStats) float64 {
+	if es.p.kern.linear {
+		return es.marginalFlat(i, k, pol, 1, false, st)
 	}
 	return es.marginalGeneric(i, k, pol)
 }
@@ -384,7 +423,7 @@ func (es *EnergyState) marginalUpperGeneric(i, k, pol int) (gain, upper float64)
 // rotating charger only radiates for the trailing 1−ρ of a slot.
 func (es *EnergyState) MarginalScaled(i, k, pol int, frac float64) float64 {
 	if es.p.kern.linear {
-		return es.marginalFlat(i, k, pol, frac, true)
+		return es.marginalFlat(i, k, pol, frac, true, es.stats)
 	}
 	return es.marginalScaledGeneric(i, k, pol, frac)
 }

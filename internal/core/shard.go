@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"haste/internal/model"
+	"haste/internal/obs"
 )
 
 // This file is the shard-and-stitch decomposition: the charging model is
@@ -272,16 +273,22 @@ type colorPlan struct {
 // under the plan's restriction to its chargers (at most Options.Workers
 // components in flight; each sub-run is sequential), stitch the
 // component schedules into the global index space, and evaluate the
-// stitched schedule on the original problem.
-func shardedGreedy(done <-chan struct{}, p *Problem, opt Options) (Result, bool) {
+// stitched schedule on the original problem. parent receives the phase
+// spans (decompose, one component span per sub-run with size/worker/
+// warm-adoption attributes, stitch, evaluate); since component workers
+// record concurrently, sibling span order is not deterministic — the
+// schedule itself remains bit-identical at any worker count.
+func shardedGreedy(done <-chan struct{}, p *Problem, opt Options, parent obs.SpanRef) (Result, bool) {
 	n, K, C, N := len(p.In.Chargers), p.K, opt.Colors, opt.Samples
 	sched := NewSchedule(n, K)
 	if K == 0 || n == 0 {
 		return Result{Schedule: sched}, true
 	}
 
+	dsp := parent.Start("decompose")
 	comps := p.Components()
 	subs := p.subProblems()
+	dsp.Int("components", int64(len(comps))).End()
 
 	plan := drawColorPlan(opt.Rng, n, K, C, N)
 
@@ -305,6 +312,12 @@ func shardedGreedy(done <-chan struct{}, p *Problem, opt Options) (Result, bool)
 			if r := inc.reusable(comps[ci], subs[ci].K, &plan, K, N); r != nil {
 				results[ci], oks[ci] = r, true
 				reusedCount++
+				// Zero-duration marker span: the component's stored result
+				// was adopted instead of re-run.
+				parent.Start("component").
+					Int("chargers", int64(len(comps[ci].Chargers))).
+					Int("tasks", int64(len(comps[ci].Tasks))).
+					Bool("warm_adopted", true).End()
 				continue
 			}
 			toRun = append(toRun, ci)
@@ -316,14 +329,20 @@ func shardedGreedy(done <-chan struct{}, p *Problem, opt Options) (Result, bool)
 		workers = len(toRun)
 	}
 	var next atomic.Int64
-	run := func() {
+	run := func(w int) {
 		for {
 			idx := int(next.Add(1)) - 1
 			if idx >= len(toRun) {
 				return
 			}
 			ci := toRun[idx]
-			r, ok := runComponent(done, subs[ci], comps[ci], p.K, opt, &plan)
+			csp := parent.Start("component").
+				Int("chargers", int64(len(comps[ci].Chargers))).
+				Int("tasks", int64(len(comps[ci].Tasks))).
+				Int("worker", int64(w)).
+				Bool("warm_adopted", false)
+			r, ok := runComponent(done, subs[ci], comps[ci], p.K, opt, &plan, csp)
+			csp.End()
 			if ok {
 				results[ci] = &r
 			}
@@ -331,17 +350,17 @@ func shardedGreedy(done <-chan struct{}, p *Problem, opt Options) (Result, bool)
 		}
 	}
 	if workers <= 1 {
-		run()
+		run(0)
 	} else {
 		var wg sync.WaitGroup
 		wg.Add(workers - 1)
 		for w := 1; w < workers; w++ {
-			go func() {
+			go func(w int) {
 				defer wg.Done()
-				run()
-			}()
+				run(w)
+			}(w)
 		}
-		run()
+		run(0)
 		wg.Wait()
 	}
 
@@ -351,6 +370,7 @@ func shardedGreedy(done <-chan struct{}, p *Problem, opt Options) (Result, bool)
 		}
 	}
 
+	ssp := parent.Start("stitch")
 	res := Result{Schedule: sched, Shards: len(runnable), WarmReused: reusedCount}
 	for _, ci := range runnable {
 		comp, sub := comps[ci], subs[ci]
@@ -363,12 +383,15 @@ func shardedGreedy(done <-chan struct{}, p *Problem, opt Options) (Result, bool)
 		// also deterministic) run — the counts a re-run would reproduce.
 		res.Kernel.add(results[ci].Kernel)
 	}
+	ssp.End()
 	// Re-evaluating the stitched schedule on the original problem — not
 	// summing per-component utilities — keeps the total bit-identical to
 	// the monolithic run: Evaluate accumulates contributions in the same
 	// (charger, slot) order, and the cells only the monolithic schedule
 	// assigns contribute exactly +0.0.
+	esp := parent.Start("evaluate")
 	res.RUtility = Evaluate(p, sched)
+	esp.End()
 	if opt.CollectWarm {
 		subKs := make([]int, len(comps))
 		for _, ci := range runnable {
@@ -409,7 +432,7 @@ func drawColorPlan(rng *rand.Rand, n, K, C, N int) colorPlan {
 // (Workers = 1): sharding parallelizes across components, and nesting the
 // per-step policy fan inside component goroutines would oversubscribe the
 // pool.
-func runComponent(done <-chan struct{}, sub *Problem, comp Component, K int, opt Options, plan *colorPlan) (Result, bool) {
+func runComponent(done <-chan struct{}, sub *Problem, comp Component, K int, opt Options, plan *colorPlan, parent obs.SpanRef) (Result, bool) {
 	N := opt.Samples
 	Kc := sub.K
 	subPlan := &colorPlan{
@@ -427,5 +450,5 @@ func runComponent(done <-chan struct{}, sub *Problem, comp Component, K int, opt
 	subOpt.Workers = 1
 	subOpt.Shard = ShardOff
 	subOpt.Rng = nil // every draw comes from the plan
-	return monolithicGreedy(done, sub, subOpt, subPlan)
+	return monolithicGreedy(done, sub, subOpt, subPlan, parent)
 }

@@ -13,6 +13,7 @@ import (
 	"haste/internal/baseline"
 	"haste/internal/core"
 	"haste/internal/model"
+	"haste/internal/obs"
 	"haste/internal/online"
 	"haste/internal/report"
 	"haste/internal/sim"
@@ -44,6 +45,10 @@ type Options struct {
 	// Workers, any value regenerates bit-identical figures — the paper's
 	// dense fields rarely decompose, so ShardAuto usually stays monolithic.
 	Shard core.ShardMode
+	// Trace, when non-nil, records every HASTE solve's phase spans into
+	// the probe (obs package). Figures are bit-identical traced or not;
+	// `haste run --trace` aggregates the forest into a per-phase summary.
+	Trace *obs.Trace
 }
 
 // haste returns the TabularGreedy options for the given color count with
@@ -52,6 +57,7 @@ func (o Options) haste(colors int) core.Options {
 	opt := core.DefaultOptions(colors)
 	opt.Workers = o.Workers
 	opt.Shard = o.Shard
+	opt.Trace = o.Trace
 	return opt
 }
 
@@ -167,6 +173,7 @@ func offlineUtilities(in *model.Instance, o Options, seed int64) (utilities4, er
 	r4 := core.TabularGreedy(p, core.Options{
 		Colors: 4, Samples: o.Samples, PreferStay: true,
 		Rng: rand.New(rand.NewSource(seed)), Workers: o.Workers, Shard: o.Shard,
+		Trace: o.Trace,
 	})
 	u.h4 = sim.Execute(p, r4.Schedule).Utility
 	u.gu = sim.Execute(p, baseline.GreedyUtility(p)).Utility

@@ -93,6 +93,7 @@ func colorBoxPlot(o Options, title string, onlineMode bool) (*report.Table, erro
 				res := core.TabularGreedy(p, core.Options{
 					Colors: c, Samples: samples, PreferStay: true,
 					Rng: rand.New(rand.NewSource(seed)), Workers: o.Workers, Shard: o.Shard,
+					Trace: o.Trace,
 				})
 				u = sim.Execute(p, res.Schedule).Utility
 			}

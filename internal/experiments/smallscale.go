@@ -56,6 +56,7 @@ func smallScaleSweep(o Options, title, xName string, sweepAs bool) (*report.Tabl
 			r4 := core.TabularGreedy(p, core.Options{
 				Colors: 4, Samples: o.Samples, PreferStay: true,
 				Rng: rand.New(rand.NewSource(seed)), Workers: o.Workers, Shard: o.Shard,
+				Trace: o.Trace,
 			})
 			h4Sum += sim.Execute(p, r4.Schedule).Utility
 			doSum += online.Run(p, online.Options{Colors: 1, Seed: seed}).Outcome.Utility

@@ -102,6 +102,42 @@ func BenchmarkServeWarmRespelled(b *testing.B) {
 	}
 }
 
+// BenchmarkServeTraced measures the cost of request tracing on the warm
+// schedule path: the same instance scheduled with and without
+// "trace": true, at the paper's fig. 4 scale (one dense component) and at
+// the clustered FleetScale(200) shape (multi-component sharded solve,
+// where the probe records one span subtree per component). The traced
+// rows pay span recording plus the phase forest's JSON in the response.
+func BenchmarkServeTraced(b *testing.B) {
+	shapes := []struct {
+		name string
+		cfg  workload.Config
+	}{
+		{"fig4", workload.Default()},
+		{"clustered", workload.FleetScale(200)},
+	}
+	for _, shape := range shapes {
+		raw := instanceJSON(b, shape.cfg.Generate(rand.New(rand.NewSource(1))))
+		for _, traced := range []bool{false, true} {
+			name := shape.name + "/untraced"
+			opts := map[string]any(nil)
+			if traced {
+				name = shape.name + "/traced"
+				opts = map[string]any{"trace": true}
+			}
+			b.Run(name, func(b *testing.B) {
+				body := requestBody(b, raw, opts)
+				s := New(Config{})
+				benchServe(b, s, body) // prime: one compile
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					benchServe(b, s, body)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkServeThroughput drives the service over real HTTP with 1, 4 and
 // 16 concurrent clients on a warm cache, reporting requests/sec. On a
 // single-vCPU host the concurrency levels mostly measure queueing overhead;

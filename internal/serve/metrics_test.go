@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"bytes"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// Bucket boundaries are inclusive upper bounds (Prometheus le
+// semantics): a latency exactly on a bound lands in that bound's bucket,
+// one just past it in the next, and anything beyond the last bound in
+// the overflow bucket.
+func TestLatencyHistogramBoundaries(t *testing.T) {
+	m := newMetrics()
+	record := func(ms float64) {
+		m.recordLatency(time.Duration(ms * float64(time.Millisecond)))
+	}
+	record(0.5)  // below the first bound → bucket 0 (le=1)
+	record(1)    // exactly on the first bound → bucket 0
+	record(1.5)  // past it → bucket 1 (le=2)
+	record(2)    // exactly on the second bound → bucket 1
+	record(5000) // exactly on the last bound → last finite bucket
+	record(5001) // past every bound → overflow
+
+	snap := m.snapshot(CacheStats{}, false, 0)
+	lat := snap.Latency
+	want := make([]int64, len(latencyBucketsMS)+1)
+	want[0] = 2
+	want[1] = 2
+	want[len(latencyBucketsMS)-1] = 1 // le=5000
+	want[len(latencyBucketsMS)] = 1   // +Inf overflow
+	for i := range want {
+		if lat.Counts[i] != want[i] {
+			t.Errorf("bucket %d count %d, want %d", i, lat.Counts[i], want[i])
+		}
+	}
+	if lat.Count != 6 {
+		t.Errorf("count %d, want 6", lat.Count)
+	}
+}
+
+// The JSON sum/count and the per-bucket counts must reconcile: counts sum
+// to Count, and SumMS equals the microsecond-resolution sum of the
+// recorded durations.
+func TestLatencyHistogramSumReconciliation(t *testing.T) {
+	m := newMetrics()
+	durations := []time.Duration{
+		750 * time.Microsecond,
+		3 * time.Millisecond,
+		42 * time.Millisecond,
+		1200 * time.Millisecond,
+		7 * time.Second,
+	}
+	var wantSumUS int64
+	for _, d := range durations {
+		m.recordLatency(d)
+		wantSumUS += d.Microseconds()
+	}
+	lat := m.snapshot(CacheStats{}, false, 0).Latency
+	var total int64
+	for _, c := range lat.Counts {
+		total += c
+	}
+	if total != lat.Count || lat.Count != int64(len(durations)) {
+		t.Errorf("bucket counts sum %d, count %d, want %d", total, lat.Count, len(durations))
+	}
+	if want := float64(wantSumUS) / 1e3; lat.SumMS != want {
+		t.Errorf("sum_ms %v, want %v", lat.SumMS, want)
+	}
+}
+
+// The overflow bucket is pinned through the Prometheus rendering: a
+// latency beyond the last bound appears only in the +Inf bucket, and the
+// cumulative buckets re-express the JSON counts exactly.
+func TestLatencyHistogramOverflowPrometheus(t *testing.T) {
+	m := newMetrics()
+	m.recordLatency(3 * time.Millisecond)
+	m.recordLatency(6 * time.Second) // beyond le=5000ms
+
+	snap := m.snapshot(CacheStats{}, false, 0)
+	var buf bytes.Buffer
+	writePrometheus(&buf, snap)
+	samples := lintPromText(t, buf.String())
+
+	lastLE := strconv.FormatFloat(latencyBucketsMS[len(latencyBucketsMS)-1]/1e3, 'g', -1, 64)
+	if got := sampleValue(t, samples, "haste_request_duration_seconds_bucket", "le", lastLE); got != 1 {
+		t.Errorf("last finite bucket = %v, want 1 (overflow must not leak in)", got)
+	}
+	if got := sampleValue(t, samples, "haste_request_duration_seconds_bucket", "le", "+Inf"); got != 2 {
+		t.Errorf("+Inf bucket = %v, want 2", got)
+	}
+	if got := sampleValue(t, samples, "haste_request_duration_seconds_count"); got != 2 {
+		t.Errorf("count = %v, want 2", got)
+	}
+}

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders the /metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4). Both representations are produced
+// from the same MetricsSnapshot, so a scrape and a JSON read taken from
+// one snapshot reconcile exactly: every Prometheus sample is a field of
+// the JSON document under a fixed name mapping, and the latency histogram
+// is the same per-bucket counts re-expressed cumulatively with the bucket
+// bounds converted from milliseconds to seconds.
+//
+// Content negotiation: GET /metrics?format=prometheus, or an Accept
+// header naming text/plain (what a Prometheus scraper sends), selects
+// this format; everything else gets the JSON snapshot unchanged.
+
+// prometheusContentType is the exposition-format content type scrapers
+// expect.
+const prometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// wantsPrometheus reports whether the request asked for the Prometheus
+// text format — explicitly via ?format=prometheus (or format=json for the
+// default), or through the Accept header.
+func wantsPrometheus(r *http.Request) bool {
+	if f := r.URL.Query().Get("format"); f != "" {
+		return f == "prometheus"
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
+}
+
+// promNum formats a sample value the way Prometheus clients do: shortest
+// round-trip representation, so the reconciliation test can parse samples
+// back and compare them exactly against the JSON snapshot.
+func promNum(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promWriter accumulates exposition lines; the tiny wrapper keeps the
+// metric families tidy (one HELP/TYPE header per family).
+type promWriter struct {
+	w io.Writer
+}
+
+func (p promWriter) family(name, help, typ string) {
+	fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (p promWriter) sample(name, labels string, v float64) {
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(p.w, "%s%s %s\n", name, labels, promNum(v))
+}
+
+// writePrometheus renders the snapshot in the exposition format. Families
+// appear in a fixed order and labeled samples are sorted by label value,
+// so the output is deterministic for a given snapshot.
+func writePrometheus(w io.Writer, m MetricsSnapshot) {
+	p := promWriter{w: w}
+
+	p.family("haste_uptime_seconds", "Seconds since the server started.", "gauge")
+	p.sample("haste_uptime_seconds", "", m.UptimeSeconds)
+
+	p.family("haste_requests_total", "HTTP requests handled, all routes.", "counter")
+	p.sample("haste_requests_total", "", float64(m.Requests))
+
+	p.family("haste_requests_by_status_total", "HTTP requests by response status code.", "counter")
+	codes := make([]string, 0, len(m.ByStatus))
+	for code := range m.ByStatus {
+		codes = append(codes, code)
+	}
+	sort.Strings(codes)
+	for _, code := range codes {
+		p.sample("haste_requests_by_status_total", `code="`+code+`"`, float64(m.ByStatus[code]))
+	}
+
+	p.family("haste_scheduled_total", "Requests that ran the scheduler.", "counter")
+	p.sample("haste_scheduled_total", "", float64(m.Scheduled))
+
+	p.family("haste_sharded_runs_total", "Completed runs that took the shard-and-stitch path.", "counter")
+	p.sample("haste_sharded_runs_total", "", float64(m.ShardedRuns))
+
+	p.family("haste_shard_components_total", "Components scheduled across sharded runs.", "counter")
+	p.sample("haste_shard_components_total", "", float64(m.ShardComps))
+
+	p.family("haste_in_flight", "Schedule requests holding a worker slot.", "gauge")
+	p.sample("haste_in_flight", "", float64(m.InFlight))
+
+	p.family("haste_queued", "Schedule requests waiting for a slot.", "gauge")
+	p.sample("haste_queued", "", float64(m.Queued))
+
+	p.family("haste_draining", "1 once BeginDrain was called, else 0.", "gauge")
+	draining := 0.0
+	if m.Draining {
+		draining = 1
+	}
+	p.sample("haste_draining", "", draining)
+
+	p.family("haste_cache_hits_total", "Compiled-problem cache hits.", "counter")
+	p.sample("haste_cache_hits_total", "", float64(m.Cache.Hits))
+	p.family("haste_cache_misses_total", "Compiled-problem cache misses.", "counter")
+	p.sample("haste_cache_misses_total", "", float64(m.Cache.Misses))
+	p.family("haste_cache_compile_errors_total", "Instance compilations that failed.", "counter")
+	p.sample("haste_cache_compile_errors_total", "", float64(m.Cache.CompileErrors))
+	p.family("haste_cache_evictions_total", "Compiled problems evicted from the cache.", "counter")
+	p.sample("haste_cache_evictions_total", "", float64(m.Cache.Evictions))
+	p.family("haste_cache_byte_memo_hits_total", "Requests whose body bytes skipped JSON decoding.", "counter")
+	p.sample("haste_cache_byte_memo_hits_total", "", float64(m.Cache.MemoHits))
+	p.family("haste_cache_entries", "Compiled problems resident in the cache.", "gauge")
+	p.sample("haste_cache_entries", "", float64(m.Cache.Entries))
+
+	p.family("haste_kernel_calls_total", "Kernel marginal evaluations (when requested).", "counter")
+	p.sample("haste_kernel_calls_total", "", float64(m.Kernel.Calls))
+	p.family("haste_kernel_visited_total", "Kernel entries visited.", "counter")
+	p.sample("haste_kernel_visited_total", "", float64(m.Kernel.Visited))
+	p.family("haste_kernel_offered_total", "Kernel entries offered.", "counter")
+	p.sample("haste_kernel_offered_total", "", float64(m.Kernel.Offered))
+	p.family("haste_kernel_pruned_total", "Kernel entries pruned.", "counter")
+	p.sample("haste_kernel_pruned_total", "", float64(m.Kernel.Pruned))
+
+	p.family("haste_sessions_open", "Incremental sessions currently open.", "gauge")
+	p.sample("haste_sessions_open", "", float64(m.Sessions.Open))
+	p.family("haste_sessions_created_total", "Sessions opened over the process lifetime.", "counter")
+	p.sample("haste_sessions_created_total", "", float64(m.Sessions.Created))
+	p.family("haste_sessions_closed_total", "Sessions deleted.", "counter")
+	p.sample("haste_sessions_closed_total", "", float64(m.Sessions.Closed))
+	p.family("haste_session_mutations_total", "Session mutations applied.", "counter")
+	p.sample("haste_session_mutations_total", "", float64(m.Sessions.Mutations))
+	p.family("haste_session_solves_total", "Successful session solves.", "counter")
+	p.sample("haste_session_solves_total", "", float64(m.Sessions.Solves))
+	p.family("haste_session_warm_reused_components_total", "Components adopted from warm starts.", "counter")
+	p.sample("haste_session_warm_reused_components_total", "", float64(m.Sessions.WarmReused))
+
+	// The request-latency histogram: the JSON snapshot's per-bucket counts
+	// re-expressed as Prometheus cumulative buckets, bounds in seconds.
+	p.family("haste_request_duration_seconds", "Scheduling-request latency.", "histogram")
+	var cum int64
+	for i, ub := range m.Latency.BucketsMS {
+		cum += m.Latency.Counts[i]
+		p.sample("haste_request_duration_seconds_bucket", `le="`+promNum(ub/1e3)+`"`, float64(cum))
+	}
+	cum += m.Latency.Counts[len(m.Latency.BucketsMS)]
+	p.sample("haste_request_duration_seconds_bucket", `le="+Inf"`, float64(cum))
+	p.sample("haste_request_duration_seconds_sum", "", m.Latency.SumMS/1e3)
+	p.sample("haste_request_duration_seconds_count", "", float64(m.Latency.Count))
+}

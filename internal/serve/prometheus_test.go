@@ -1,0 +1,405 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// ---------------------------------------------------------------------------
+// Vendored promtool-style lint: a minimal parser/checker of the text
+// exposition format (version 0.0.4), so CI catches a malformed scrape
+// without a Prometheus dependency. It enforces the rules `promtool check
+// metrics` would: names well-formed, every sample preceded by a TYPE for
+// its family, counters suffixed _total, no duplicate samples, histograms
+// with a +Inf bucket, non-decreasing cumulative buckets, and _count equal
+// to the +Inf bucket.
+// ---------------------------------------------------------------------------
+
+var (
+	promNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+// promSample is one parsed sample line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// key is the deduplication identity: name plus sorted label pairs.
+func (s promSample) key() string {
+	pairs := make([]string, 0, len(s.labels))
+	for k, v := range s.labels {
+		pairs = append(pairs, k+"="+v)
+	}
+	sort.Strings(pairs)
+	return s.name + "{" + strings.Join(pairs, ",") + "}"
+}
+
+// parsePromText parses an exposition document into samples and the
+// declared family types, failing on any syntax error.
+func parsePromText(t *testing.T, text string) ([]promSample, map[string]string) {
+	t.Helper()
+	types := make(map[string]string)
+	helps := make(map[string]bool)
+	var samples []promSample
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for ln := 1; sc.Scan(); ln++ {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 4 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				t.Fatalf("line %d: malformed comment %q", ln, line)
+			}
+			name := fields[2]
+			if !promNameRe.MatchString(name) {
+				t.Fatalf("line %d: bad metric name %q", ln, name)
+			}
+			if fields[1] == "HELP" {
+				if helps[name] {
+					t.Fatalf("line %d: duplicate HELP for %s", ln, name)
+				}
+				helps[name] = true
+				continue
+			}
+			typ := fields[3]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown type %q", ln, typ)
+			}
+			if _, dup := types[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln, name)
+			}
+			types[name] = typ
+			continue
+		}
+		sample, err := parsePromSample(line)
+		if err != nil {
+			t.Fatalf("line %d: %v", ln, err)
+		}
+		samples = append(samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples, types
+}
+
+func parsePromSample(line string) (promSample, error) {
+	s := promSample{labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return s, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		s.name = rest[:i]
+		for _, part := range strings.Split(rest[i+1:j], ",") {
+			m := promLabelRe.FindStringSubmatch(part)
+			if m == nil {
+				return s, fmt.Errorf("bad label %q", part)
+			}
+			s.labels[m[1]] = m[2]
+		}
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.SplitN(rest, " ", 2)
+		if len(fields) != 2 {
+			return s, fmt.Errorf("malformed sample %q", line)
+		}
+		s.name, rest = fields[0], fields[1]
+	}
+	if !promNameRe.MatchString(s.name) {
+		return s, fmt.Errorf("bad metric name %q", s.name)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	s.value = v
+	return s, nil
+}
+
+// familyOf strips the histogram sample suffixes back to the declared
+// family name.
+func familyOf(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// lintPromText runs the full lint over an exposition document.
+func lintPromText(t *testing.T, text string) []promSample {
+	t.Helper()
+	samples, types := parsePromText(t, text)
+	seen := make(map[string]bool)
+	byFamily := make(map[string][]promSample)
+	for _, s := range samples {
+		fam := familyOf(s.name)
+		typ, ok := types[fam]
+		if !ok {
+			// A histogram suffix can also collide with a plain family name.
+			typ, ok = types[s.name]
+			fam = s.name
+		}
+		if !ok {
+			t.Errorf("sample %s has no TYPE declaration", s.name)
+			continue
+		}
+		if typ == "counter" && !strings.HasSuffix(fam, "_total") {
+			t.Errorf("counter %s not suffixed _total", fam)
+		}
+		if typ == "counter" && s.value < 0 {
+			t.Errorf("counter %s is negative: %v", s.key(), s.value)
+		}
+		if k := s.key(); seen[k] {
+			t.Errorf("duplicate sample %s", k)
+		} else {
+			seen[k] = true
+		}
+		byFamily[fam] = append(byFamily[fam], s)
+	}
+	for fam, typ := range types {
+		if typ != "histogram" {
+			continue
+		}
+		var buckets []promSample
+		var count float64
+		hasCount := false
+		for _, s := range byFamily[fam] {
+			switch s.name {
+			case fam + "_bucket":
+				buckets = append(buckets, s)
+			case fam + "_count":
+				count, hasCount = s.value, true
+			}
+		}
+		if len(buckets) == 0 {
+			t.Errorf("histogram %s has no buckets", fam)
+			continue
+		}
+		// Buckets must be cumulative in ascending le order, ending at +Inf.
+		sort.Slice(buckets, func(i, j int) bool {
+			return promLE(t, buckets[i]) < promLE(t, buckets[j])
+		})
+		last := buckets[len(buckets)-1]
+		if !math.IsInf(promLE(t, last), 1) {
+			t.Errorf("histogram %s missing the +Inf bucket", fam)
+		}
+		for i := 1; i < len(buckets); i++ {
+			if buckets[i].value < buckets[i-1].value {
+				t.Errorf("histogram %s buckets not cumulative at le=%v", fam, promLE(t, buckets[i]))
+			}
+		}
+		if hasCount && count != last.value {
+			t.Errorf("histogram %s: _count %v != +Inf bucket %v", fam, count, last.value)
+		}
+	}
+	return samples
+}
+
+func promLE(t *testing.T, s promSample) float64 {
+	t.Helper()
+	le, ok := s.labels["le"]
+	if !ok {
+		t.Fatalf("bucket sample %s lacks le", s.key())
+	}
+	v, err := strconv.ParseFloat(le, 64)
+	if err != nil {
+		t.Fatalf("bucket %s: bad le %q", s.name, le)
+	}
+	return v
+}
+
+// sampleValue returns the unique sample with the given name (and optional
+// single label pair "k=v"), failing if absent.
+func sampleValue(t *testing.T, samples []promSample, name string, label ...string) float64 {
+	t.Helper()
+	for _, s := range samples {
+		if s.name != name {
+			continue
+		}
+		if len(label) == 0 && len(s.labels) == 0 {
+			return s.value
+		}
+		if len(label) == 2 && s.labels[label[0]] == label[1] {
+			return s.value
+		}
+	}
+	t.Fatalf("no sample %s %v", name, label)
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+// The Prometheus rendering of a snapshot must lint cleanly and reconcile
+// exactly — every sample equal to the corresponding JSON field, the
+// histogram equal to the cumulative re-expression of the JSON bucket
+// counts. Run with -race in CI: the load is generated concurrently with
+// scrapes, then the final comparison uses one quiesced snapshot.
+func TestPrometheusReconciliation(t *testing.T) {
+	s := New(Config{})
+	body := requestBody(t, instanceJSON(t, testInstance(t, 31)), map[string]any{"kernel_stats": true})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				post(s, "/v1/schedule", body)
+				get(s, "/metrics?format=prometheus")
+			}
+		}()
+	}
+	wg.Wait()
+	post(s, "/v1/schedule", []byte("{")) // one 400 for the status map
+
+	snap := s.Metrics()
+	var buf bytes.Buffer
+	writePrometheus(&buf, snap)
+	samples := lintPromText(t, buf.String())
+
+	wantScalar := map[string]float64{
+		"haste_uptime_seconds":                       snap.UptimeSeconds,
+		"haste_requests_total":                       float64(snap.Requests),
+		"haste_scheduled_total":                      float64(snap.Scheduled),
+		"haste_sharded_runs_total":                   float64(snap.ShardedRuns),
+		"haste_shard_components_total":               float64(snap.ShardComps),
+		"haste_in_flight":                            float64(snap.InFlight),
+		"haste_queued":                               float64(snap.Queued),
+		"haste_draining":                             0,
+		"haste_cache_hits_total":                     float64(snap.Cache.Hits),
+		"haste_cache_misses_total":                   float64(snap.Cache.Misses),
+		"haste_cache_compile_errors_total":           float64(snap.Cache.CompileErrors),
+		"haste_cache_evictions_total":                float64(snap.Cache.Evictions),
+		"haste_cache_byte_memo_hits_total":           float64(snap.Cache.MemoHits),
+		"haste_cache_entries":                        float64(snap.Cache.Entries),
+		"haste_kernel_calls_total":                   float64(snap.Kernel.Calls),
+		"haste_kernel_visited_total":                 float64(snap.Kernel.Visited),
+		"haste_kernel_offered_total":                 float64(snap.Kernel.Offered),
+		"haste_kernel_pruned_total":                  float64(snap.Kernel.Pruned),
+		"haste_sessions_open":                        float64(snap.Sessions.Open),
+		"haste_sessions_created_total":               float64(snap.Sessions.Created),
+		"haste_sessions_closed_total":                float64(snap.Sessions.Closed),
+		"haste_session_mutations_total":              float64(snap.Sessions.Mutations),
+		"haste_session_solves_total":                 float64(snap.Sessions.Solves),
+		"haste_session_warm_reused_components_total": float64(snap.Sessions.WarmReused),
+		"haste_request_duration_seconds_sum":         snap.Latency.SumMS / 1e3,
+		"haste_request_duration_seconds_count":       float64(snap.Latency.Count),
+	}
+	for name, want := range wantScalar {
+		if got := sampleValue(t, samples, name); got != want {
+			t.Errorf("%s = %v, JSON snapshot says %v", name, got, want)
+		}
+	}
+	for code, n := range snap.ByStatus {
+		if got := sampleValue(t, samples, "haste_requests_by_status_total", "code", code); got != float64(n) {
+			t.Errorf("requests_by_status{code=%q} = %v, want %d", code, got, n)
+		}
+	}
+	// The histogram buckets are the prefix sums of the JSON counts.
+	var cum int64
+	for i, ub := range snap.Latency.BucketsMS {
+		cum += snap.Latency.Counts[i]
+		le := strconv.FormatFloat(ub/1e3, 'g', -1, 64)
+		if got := sampleValue(t, samples, "haste_request_duration_seconds_bucket", "le", le); got != float64(cum) {
+			t.Errorf("bucket le=%s = %v, want cumulative %d", le, got, cum)
+		}
+	}
+	cum += snap.Latency.Counts[len(snap.Latency.BucketsMS)]
+	if got := sampleValue(t, samples, "haste_request_duration_seconds_bucket", "le", "+Inf"); got != float64(cum) {
+		t.Errorf("+Inf bucket = %v, want %d", got, cum)
+	}
+	if cum != snap.Latency.Count {
+		t.Errorf("bucket total %d != latency count %d", cum, snap.Latency.Count)
+	}
+	if snap.Scheduled == 0 || snap.ByStatus["400"] != 1 {
+		t.Errorf("load generation did not register: %+v", snap.ByStatus)
+	}
+}
+
+// Content negotiation on GET /metrics: the query parameter and the Accept
+// header both select the exposition format; the default stays JSON.
+func TestPrometheusContentNegotiation(t *testing.T) {
+	s := New(Config{})
+	post(s, "/v1/schedule", requestBody(t, instanceJSON(t, testInstance(t, 32)), nil))
+
+	rec := get(s, "/metrics?format=prometheus")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("prometheus metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != prometheusContentType {
+		t.Fatalf("content type %q", ct)
+	}
+	lintPromText(t, rec.Body.String())
+
+	// Accept-header negotiation (what a Prometheus scraper sends).
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	req.Header.Set("Accept", "text/plain;version=0.0.4;q=0.9,*/*;q=0.1")
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); ct != prometheusContentType {
+		t.Fatalf("Accept negotiation gave content type %q", ct)
+	}
+	lintPromText(t, rec.Body.String())
+
+	// Default and explicit JSON stay JSON.
+	for _, path := range []string{"/metrics", "/metrics?format=json"} {
+		rec := get(s, path)
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("%s content type %q", path, ct)
+		}
+		var m MetricsSnapshot
+		decodeResponse(t, rec.Body.Bytes(), &m)
+	}
+}
+
+// The scrape and the JSON document must agree through the HTTP endpoints
+// too: latency, cache and kernel families are untouched by metrics reads
+// (only schedule paths record latency), and requests_total differs by
+// exactly the JSON read itself.
+func TestPrometheusMatchesJSONOverHTTP(t *testing.T) {
+	s := New(Config{})
+	body := requestBody(t, instanceJSON(t, testInstance(t, 33)), nil)
+	for i := 0; i < 2; i++ {
+		if rec := post(s, "/v1/schedule", body); rec.Code != http.StatusOK {
+			t.Fatalf("schedule status %d", rec.Code)
+		}
+	}
+	var m MetricsSnapshot
+	decodeResponse(t, get(s, "/metrics").Body.Bytes(), &m)
+	samples := lintPromText(t, get(s, "/metrics?format=prometheus").Body.String())
+
+	if got := sampleValue(t, samples, "haste_request_duration_seconds_count"); got != float64(m.Latency.Count) {
+		t.Errorf("latency count %v != JSON %d", got, m.Latency.Count)
+	}
+	if got := sampleValue(t, samples, "haste_scheduled_total"); got != float64(m.Scheduled) {
+		t.Errorf("scheduled %v != JSON %d", got, m.Scheduled)
+	}
+	if got := sampleValue(t, samples, "haste_cache_hits_total"); got != float64(m.Cache.Hits) {
+		t.Errorf("cache hits %v != JSON %d", got, m.Cache.Hits)
+	}
+	if got := sampleValue(t, samples, "haste_requests_total"); got != float64(m.Requests)+1 {
+		t.Errorf("requests_total %v, want JSON %d + the JSON read itself", got, m.Requests)
+	}
+}

@@ -35,9 +35,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -45,6 +47,7 @@ import (
 
 	"haste/internal/core"
 	"haste/internal/instio"
+	"haste/internal/obs"
 )
 
 // Config tunes the service. The zero value selects the documented
@@ -95,6 +98,11 @@ type Config struct {
 	// changes results (bit-identical by the repo's determinism
 	// contract).
 	CoreWorkers int
+
+	// Logger receives the structured access log (one line per request,
+	// with the request's trace id) and the session lifecycle events.
+	// Default: discard.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +135,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CoreWorkers <= 0 {
 		c.CoreWorkers = 1
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
 	}
 	return c
 }
@@ -164,9 +175,11 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Every request passes through the
+// logging middleware (logging.go): a fresh trace id in the X-Trace-Id
+// response header and one structured access-log line on completion.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.serveLogged(w, r)
 }
 
 // BeginDrain flips the service into draining: /healthz turns 503 so load
@@ -210,6 +223,13 @@ type scheduleRequest struct {
 	// Either way results obey the stitching contract, so clients toggling
 	// this see identical utilities.
 	Shard *bool `json:"shard,omitempty"`
+
+	// Trace asks for the per-phase breakdown of this request: the response
+	// carries the obs span forest (decode, slot acquisition, problem
+	// resolution, and the core solve subtree) plus the request's trace id.
+	// Tracing never changes the schedule — spans bracket phases, not
+	// inner loops.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // scheduleResponse is the success body.
@@ -225,6 +245,12 @@ type scheduleResponse struct {
 	// Shards is the number of independently scheduled components when the
 	// run took the shard-and-stitch path (omitted for monolithic runs).
 	Shards int `json:"shards,omitempty"`
+
+	// TraceID and Trace are set when the request asked for tracing: the id
+	// matching the X-Trace-Id header and access log, and the recorded
+	// phase forest (root span durations sum to at most ElapsedMS).
+	TraceID string      `json:"trace_id,omitempty"`
+	Trace   []*obs.Node `json:"trace,omitempty"`
 }
 
 // errorResponse is the body of every non-2xx response the service writes:
@@ -239,15 +265,57 @@ type errorResponse struct {
 // the wire — there is no client left to read it).
 const statusClientGone = 499
 
+// healthResponse is the GET /healthz body: liveness plus enough build
+// identity to tell which binary is answering.
+type healthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version,omitempty"`
+	Module        string  `json:"module,omitempty"`
+	ModuleVersion string  `json:"module_version,omitempty"`
+	VCSRevision   string  `json:"vcs_revision,omitempty"`
+}
+
+// buildIdentity reads the binary's build info once: module path and
+// version, the toolchain, and the VCS revision when the binary was built
+// from a checkout.
+var buildIdentity = sync.OnceValue(func() healthResponse {
+	var h healthResponse
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return h
+	}
+	h.GoVersion = bi.GoVersion
+	h.Module = bi.Main.Path
+	h.ModuleVersion = bi.Main.Version
+	for _, kv := range bi.Settings {
+		if kv.Key == "vcs.revision" {
+			h.VCSRevision = kv.Value
+		}
+	}
+	return h
+})
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := buildIdentity()
+	h.UptimeSeconds = time.Since(s.met.start).Seconds()
 	if s.draining.Load() {
-		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		h.Status = "draining"
+		s.writeJSON(w, http.StatusServiceUnavailable, h)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	h.Status = "ok"
+	s.writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", prometheusContentType)
+		w.WriteHeader(http.StatusOK)
+		writePrometheus(w, s.Metrics())
+		s.met.recordStatus(http.StatusOK)
+		return
+	}
 	s.writeJSON(w, http.StatusOK, s.Metrics())
 }
 
@@ -282,8 +350,17 @@ func (s *Server) schedule(w http.ResponseWriter, r *http.Request, t0 time.Time) 
 
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req scheduleRequest
+	tDecode := time.Now()
 	if status, err := decodeStrictBody(r.Body, &req); err != nil {
 		return status, err
+	}
+	// The decode finishes before the trace can exist (the trace flag is
+	// inside the body), so its span is retro-recorded. A nil tr keeps
+	// every span call below a no-op.
+	var tr *obs.Trace
+	if req.Trace {
+		tr = obs.New()
+		tr.Span("decode", tDecode, time.Since(tDecode))
 	}
 	if len(req.Instance) == 0 {
 		return http.StatusBadRequest, errors.New("missing \"instance\"")
@@ -295,18 +372,23 @@ func (s *Server) schedule(w http.ResponseWriter, r *http.Request, t0 time.Time) 
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
+	asp := tr.Start("acquire_slot")
 	release, status, err := s.acquireSlot(ctx, r, w)
+	asp.End()
 	if err != nil {
 		return status, err
 	}
 	defer release()
 
+	rsp := tr.Start("resolve_problem")
 	p, hash, hit, err := s.resolveProblem(req.Instance)
+	rsp.Bool("cache_hit", hit).End()
 	if err != nil {
 		return http.StatusBadRequest, fmt.Errorf("invalid instance: %v", err)
 	}
 
 	opt := core.Options{
+		Trace: tr,
 		Colors:      req.Colors,
 		Samples:     req.Samples,
 		PreferStay:  req.PreferStay == nil || *req.PreferStay,
@@ -355,6 +437,10 @@ func (s *Server) schedule(w http.ResponseWriter, r *http.Request, t0 time.Time) 
 	if req.KernelStats {
 		ks := res.Kernel
 		resp.Kernel = &ks
+	}
+	if tr != nil {
+		resp.TraceID = traceIDFrom(r.Context())
+		resp.Trace = tr.Tree()
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 	return 0, nil

@@ -15,6 +15,7 @@ import (
 	"haste/internal/core"
 	"haste/internal/instio"
 	"haste/internal/model"
+	"haste/internal/obs"
 )
 
 // This file is the session API: the streaming counterpart of the one-shot
@@ -66,6 +67,10 @@ type sessionCreateRequest struct {
 	Seed       int64 `json:"seed,omitempty"`
 	PreferStay *bool `json:"prefer_stay,omitempty"`
 	Lazy       bool  `json:"lazy,omitempty"`
+
+	// Trace asks for the phase breakdown of this request (same contract
+	// as scheduleRequest.Trace).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // sessionMutation is one entry of a PATCH mutation list. Op "add" carries
@@ -83,6 +88,10 @@ type sessionMutation struct {
 // how a client recovers the revision after a timed-out solve.
 type sessionPatchRequest struct {
 	Mutations []sessionMutation `json:"mutations"`
+
+	// Trace asks for the phase breakdown of this request, including the
+	// delta_patch span covering mutation validation and application.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // sessionView is one schedule revision as exposed on every session
@@ -103,6 +112,11 @@ type sessionResponse struct {
 	sessionView
 	Refs      []int64 `json:"refs,omitempty"` // refs assigned to this PATCH's adds, in op order
 	ElapsedMS float64 `json:"elapsed_ms"`
+
+	// TraceID and Trace are set when the request asked for tracing (same
+	// contract as scheduleResponse).
+	TraceID string      `json:"trace_id,omitempty"`
+	Trace   []*obs.Node `json:"trace,omitempty"`
 }
 
 // session is one resident scheduling session.
@@ -177,8 +191,14 @@ func (s *Server) sessionCreate(w http.ResponseWriter, r *http.Request, t0 time.T
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req sessionCreateRequest
+	tDecode := time.Now()
 	if status, err := decodeStrictBody(r.Body, &req); err != nil {
 		return status, err
+	}
+	var tr *obs.Trace
+	if req.Trace {
+		tr = obs.New()
+		tr.Span("decode", tDecode, time.Since(tDecode))
 	}
 	if len(req.Instance) == 0 {
 		return http.StatusBadRequest, errors.New("missing \"instance\"")
@@ -195,13 +215,17 @@ func (s *Server) sessionCreate(w http.ResponseWriter, r *http.Request, t0 time.T
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
+	asp := tr.Start("acquire_slot")
 	release, status, err := s.acquireSlot(ctx, r, w)
+	asp.End()
 	if err != nil {
 		return status, err
 	}
 	defer release()
 
-	shared, _, _, err := s.resolveProblem(req.Instance)
+	rsp := tr.Start("resolve_problem")
+	shared, _, hit, err := s.resolveProblem(req.Instance)
+	rsp.Bool("cache_hit", hit).End()
 	if err != nil {
 		return http.StatusBadRequest, fmt.Errorf("invalid instance: %v", err)
 	}
@@ -233,7 +257,7 @@ func (s *Server) sessionCreate(w http.ResponseWriter, r *http.Request, t0 time.T
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	s.met.scheduled.Add(1)
-	if status, err := sess.solveLocked(ctx, s, r); err != nil {
+	if status, err := sess.solveLocked(ctx, s, r, tr); err != nil {
 		return status, err
 	}
 
@@ -241,12 +265,21 @@ func (s *Server) sessionCreate(w http.ResponseWriter, r *http.Request, t0 time.T
 	s.sessions[sess.id] = sess
 	s.sessMu.Unlock()
 	s.met.sessionsCreated.Add(1)
+	s.cfg.Logger.Info("session created",
+		"trace_id", traceIDFrom(r.Context()),
+		"session_id", sess.id,
+		"tasks", len(sess.p.In.Tasks))
 
-	s.writeJSON(w, http.StatusCreated, sessionResponse{
+	resp := sessionResponse{
 		SessionID:   sess.id,
 		sessionView: sess.view,
 		ElapsedMS:   float64(time.Since(t0)) / float64(time.Millisecond),
-	})
+	}
+	if tr != nil {
+		resp.TraceID = traceIDFrom(r.Context())
+		resp.Trace = tr.Tree()
+	}
+	s.writeJSON(w, http.StatusCreated, resp)
 	return 0, nil
 }
 
@@ -286,13 +319,21 @@ func (s *Server) sessionPatch(w http.ResponseWriter, r *http.Request, t0 time.Ti
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req sessionPatchRequest
+	tDecode := time.Now()
 	if status, err := decodeStrictBody(r.Body, &req); err != nil {
 		return status, err
+	}
+	var tr *obs.Trace
+	if req.Trace {
+		tr = obs.New()
+		tr.Span("decode", tDecode, time.Since(tDecode))
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
+	asp := tr.Start("acquire_slot")
 	release, status, err := s.acquireSlot(ctx, r, w)
+	asp.End()
 	if err != nil {
 		return status, err
 	}
@@ -307,24 +348,32 @@ func (s *Server) sessionPatch(w http.ResponseWriter, r *http.Request, t0 time.Ti
 	// Two-phase mutation handling: validate the whole batch against the
 	// session's current (plus batch-simulated) task set, then apply — the
 	// apply phase cannot fail, so a rejected batch changes nothing.
+	psp := tr.Start("delta_patch").Int("mutations", int64(len(req.Mutations)))
 	tasks, err := sess.validateMutationsLocked(req.Mutations)
 	if err != nil {
+		psp.End()
 		return http.StatusBadRequest, err
 	}
 	refs := sess.applyMutationsLocked(req.Mutations, tasks)
+	psp.End()
 	s.met.sessionMutations.Add(int64(len(req.Mutations)))
 
 	s.met.scheduled.Add(1)
-	if status, err := sess.solveLocked(ctx, s, r); err != nil {
+	if status, err := sess.solveLocked(ctx, s, r, tr); err != nil {
 		return status, err
 	}
 
-	s.writeJSON(w, http.StatusOK, sessionResponse{
+	resp := sessionResponse{
 		SessionID:   sess.id,
 		sessionView: sess.view,
 		Refs:        refs,
 		ElapsedMS:   float64(time.Since(t0)) / float64(time.Millisecond),
-	})
+	}
+	if tr != nil {
+		resp.TraceID = traceIDFrom(r.Context())
+		resp.Trace = tr.Tree()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 	return 0, nil
 }
 
@@ -422,8 +471,9 @@ func (sess *session) applyMutationsLocked(muts []sessionMutation, tasks []model.
 // timed-out solve leaves the revision untouched (the applied mutations
 // stay, accumulated into the warm dirty set) and returns the same status
 // mapping as /v1/schedule.
-func (sess *session) solveLocked(ctx context.Context, s *Server, r *http.Request) (int, error) {
+func (sess *session) solveLocked(ctx context.Context, s *Server, r *http.Request, tr *obs.Trace) (int, error) {
 	opt := core.Options{
+		Trace:      tr,
 		Colors:     sess.colors,
 		Samples:    sess.samples,
 		PreferStay: sess.preferStay,
@@ -488,6 +538,7 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	sess.mu.Lock()
 	sess.closed = true
+	rev := sess.rev
 	for ch := range sess.watch {
 		select {
 		case ch <- struct{}{}:
@@ -496,6 +547,10 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	sess.mu.Unlock()
 	s.met.sessionsClosed.Add(1)
+	s.cfg.Logger.Info("session closed",
+		"trace_id", traceIDFrom(r.Context()),
+		"session_id", id,
+		"rev", rev)
 	s.writeJSON(w, http.StatusOK, map[string]any{"session_id": id, "closed": true})
 }
 

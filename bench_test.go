@@ -266,7 +266,9 @@ func BenchmarkOnlineRun(b *testing.B) {
 	p := midScaleProblem(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		online.Run(p, online.Options{Seed: int64(i)})
+		if _, err := online.Run(p, online.Options{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

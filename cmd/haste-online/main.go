@@ -6,12 +6,17 @@
 // Usage:
 //
 //	haste-online [--chargers N] [--tasks M] [--seed S] [--colors C] [--field F]
-//	             [--drop P] [--dup P] [--delay P] [--crash P] [--reliable] [--parallel]
+//	             [--transport mem|tcp] [--drop P] [--dup P] [--delay P] [--crash P]
+//	             [--reliable] [--parallel]
 //
 // The --drop/--dup/--delay/--crash flags inject seeded network failures
 // into the negotiation (see package netsim for the failure model);
 // --reliable turns on the commit-reliability layer. When any failure
 // mode is active the demo also prints the degradation accounting.
+// --transport tcp carries every negotiation over loopback TCP sockets
+// (one connection per charger, package transport) instead of the
+// in-memory engine; the schedule and every counter are bit-identical —
+// the cross-driver equivalence contract — only wall-clock time changes.
 package main
 
 import (
@@ -23,8 +28,10 @@ import (
 
 	"haste/internal/core"
 	"haste/internal/geom"
+	"haste/internal/netsim"
 	"haste/internal/online"
 	"haste/internal/report"
+	"haste/internal/transport"
 	"haste/internal/viz"
 	"haste/internal/workload"
 )
@@ -42,7 +49,19 @@ func main() {
 	crash := flag.Float64("crash", 0, "per-node per-round crash probability")
 	reliable := flag.Bool("reliable", false, "enable the commit-reliability layer (acked, retransmitted UPDs)")
 	parallel := flag.Bool("parallel", false, "run negotiation rounds with one goroutine per charger")
+	transportName := flag.String("transport", "mem",
+		"negotiation substrate: mem (in-memory netsim) or tcp (loopback sockets, one TCP connection per charger)")
 	flag.Parse()
+
+	var driver netsim.Factory
+	switch *transportName {
+	case "mem":
+	case "tcp":
+		driver = transport.Factory
+	default:
+		fmt.Fprintf(os.Stderr, "haste-online: unknown --transport %q (mem, tcp)\n", *transportName)
+		os.Exit(2)
+	}
 
 	cfg := workload.Default()
 	cfg.NumChargers = *chargers
@@ -59,8 +78,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("online HASTE demo: %d chargers, %d tasks, %d time slots, τ=%d, ρ=%.3f, C=%d\n\n",
-		*chargers, *tasks, p.K, in.Params.Tau, in.Params.Rho, *colors)
+	fmt.Printf("online HASTE demo: %d chargers, %d tasks, %d time slots, τ=%d, ρ=%.3f, C=%d, transport=%s\n\n",
+		*chargers, *tasks, p.K, in.Params.Tau, in.Params.Rho, *colors, *transportName)
 
 	opt := online.Options{
 		Colors:    *colors,
@@ -71,8 +90,13 @@ func main() {
 		DelayRate: *delay,
 		CrashRate: *crash,
 		Reliable:  *reliable,
+		Driver:    driver,
 	}
-	res := online.Run(p, opt)
+	res, err := online.Run(p, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "haste-online:", err)
+		os.Exit(1)
+	}
 
 	fmt.Println("arrival-triggered negotiations:")
 	for _, n := range res.Stats.Negotiations {

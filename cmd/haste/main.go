@@ -28,9 +28,25 @@ import (
 
 	"haste/internal/core"
 	"haste/internal/experiments"
+	"haste/internal/netsim"
 	"haste/internal/obs"
 	"haste/internal/report"
+	"haste/internal/transport"
 )
+
+// parseTransport maps the --transport flag onto a netsim.Factory: the
+// in-memory engine (nil, the default) or the loopback TCP driver. The
+// figures are bit-identical either way — that is the cross-driver
+// equivalence contract (difftest.DriverSweep) — only wall-clock changes.
+func parseTransport(s string) (netsim.Factory, error) {
+	switch s {
+	case "", "mem":
+		return nil, nil
+	case "tcp":
+		return transport.Factory, nil
+	}
+	return nil, fmt.Errorf("unknown --transport %q (mem, tcp)", s)
+}
 
 // parseShardMode maps the --shard flag onto core.ShardMode.
 func parseShardMode(s string) (core.ShardMode, error) {
@@ -88,6 +104,7 @@ func runCmd(args []string) error {
 	samples := fs.Int("samples", 0, "Monte-Carlo color samples for C>1 (0 = default)")
 	workers := fs.Int("workers", 0, "scheduler worker pool bound (0 = one per CPU, 1 = sequential; figures are identical either way)")
 	shard := fs.String("shard", "auto", "shard-and-stitch mode: auto, on, or off (figures are identical either way)")
+	transportName := fs.String("transport", "mem", "online negotiation substrate: mem or tcp (figures are identical either way)")
 	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
 	format := fs.String("format", "", "output format: text (default), csv, or markdown")
 	outDir := fs.String("out", "", "write each experiment to <dir>/<id>.<ext> instead of stdout")
@@ -128,7 +145,14 @@ func runCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := experiments.Options{Reps: *reps, Seed: *seed, Samples: *samples, Quick: *quick, Workers: *workers, Shard: shardMode}
+	transportFactory, err := parseTransport(*transportName)
+	if err != nil {
+		return err
+	}
+	opts := experiments.Options{
+		Reps: *reps, Seed: *seed, Samples: *samples, Quick: *quick,
+		Workers: *workers, Shard: shardMode, Transport: transportFactory,
+	}
 	fmtName := *format
 	if fmtName == "" {
 		fmtName = "text"
@@ -231,6 +255,9 @@ flags for run:
                   every value regenerates bit-identical figures)
   --shard M       shard-and-stitch mode: auto (default), on, or off
                   (every mode regenerates bit-identical figures)
+  --transport T   online negotiation substrate: mem (default) or tcp —
+                  loopback sockets, one TCP connection per charger
+                  (every substrate regenerates bit-identical figures)
   --format F      text (default), csv, or markdown
   --out DIR       write each experiment to DIR/<id>.<ext>
   --summary       append the paper-style headline claims

@@ -36,6 +36,27 @@ func TestRunSingleFigure(t *testing.T) {
 	}
 }
 
+// TestRunTransportTCPMatchesMem regenerates an online figure over the
+// loopback TCP substrate and asserts the output is byte-identical to the
+// in-memory run — the cross-driver equivalence contract surfaced at the
+// figure level (only fig16's quick grid, to keep the socket run fast).
+func TestRunTransportTCPMatchesMem(t *testing.T) {
+	mem, err := run(t, "run", "--fig", "fig16", "--quick", "--reps", "1", "--csv")
+	if err != nil {
+		t.Fatalf("mem run failed: %v\n%s", err, mem)
+	}
+	tcp, err := run(t, "run", "--fig", "fig16", "--quick", "--reps", "1", "--csv", "--transport", "tcp")
+	if err != nil {
+		t.Fatalf("tcp run failed: %v\n%s", err, tcp)
+	}
+	if mem != tcp {
+		t.Errorf("figure diverges across transports:\n--- mem ---\n%s\n--- tcp ---\n%s", mem, tcp)
+	}
+	if out, err := run(t, "run", "--fig", "fig16", "--transport", "smoke-signal"); err == nil {
+		t.Errorf("unknown transport accepted:\n%s", out)
+	}
+}
+
 func TestRunCSV(t *testing.T) {
 	out, err := run(t, "run", "--fig", "fig21", "--quick", "--reps", "1", "--csv")
 	if err != nil {

@@ -57,7 +57,10 @@ func ExampleRunOnline() {
 	if err != nil {
 		panic(err)
 	}
-	res := haste.RunOnline(p, haste.OnlineOptions{Seed: 1})
+	res, err := haste.RunOnline(p, haste.OnlineOptions{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("first command at slot 3: %v\n", !math.IsNaN(res.Orientations[0][3]))
 	fmt.Printf("slots 0-2 uncommanded: %v\n",
 		math.IsNaN(res.Orientations[0][0]) &&

@@ -32,7 +32,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res := haste.RunOnline(p, haste.OnlineOptions{Colors: 1, Seed: 7})
+	res, err := haste.RunOnline(p, haste.OnlineOptions{Colors: 1, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("online run: %d chargers, %d tasks arriving over %d slots (τ=%d)\n\n",
 		len(in.Chargers), len(in.Tasks), cfg.ReleaseMax, in.Params.Tau)

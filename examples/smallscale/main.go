@@ -39,7 +39,11 @@ func main() {
 			continue
 		}
 		off := haste.Simulate(p, haste.ScheduleOffline(p, haste.DefaultOptions(1)).Schedule)
-		on := haste.RunOnline(p, haste.OnlineOptions{Seed: seed}).Outcome
+		onRes, err := haste.RunOnline(p, haste.OnlineOptions{Seed: seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		on := onRes.Outcome
 
 		ro, rn := off.Utility/sol.Utility, on.Utility/sol.Utility
 		if ro < worstOff {

@@ -113,8 +113,10 @@ func Simulate(p *Problem, s Schedule) Outcome { return sim.Execute(p, s) }
 
 // RunOnline simulates the online scenario end to end: tasks arrive at
 // their release slots and the chargers renegotiate their orientations
-// through Algorithm 3's message protocol.
-func RunOnline(p *Problem, opt OnlineOptions) OnlineResult { return online.Run(p, opt) }
+// through Algorithm 3's message protocol. On the default in-memory
+// substrate the error is always nil; a non-nil error reports a failure of
+// the real-socket substrate selected via OnlineOptions.Driver.
+func RunOnline(p *Problem, opt OnlineOptions) (OnlineResult, error) { return online.Run(p, opt) }
 
 // GreedyUtility is the comparison baseline where each charger maximizes
 // its own delivered utility without coordination.

@@ -37,7 +37,10 @@ func TestFacadeOnlineAndBaselines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	on := haste.RunOnline(p, haste.OnlineOptions{Seed: 3})
+	on, err := haste.RunOnline(p, haste.OnlineOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if on.Outcome.Utility < 0 || on.Outcome.Utility > 1+1e-9 {
 		t.Fatalf("online utility out of range: %v", on.Outcome.Utility)
 	}

@@ -34,7 +34,10 @@ func TestPaperScalePipeline(t *testing.T) {
 	h4 := sim.Execute(p, r4.Schedule)
 	gu := sim.Execute(p, baseline.GreedyUtility(p))
 	gc := sim.Execute(p, baseline.GreedyCover(p))
-	on := online.Run(p, online.Options{Seed: 1})
+	on, err := online.Run(p, online.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	t.Logf("offline C1=%.4f C4=%.4f GU=%.4f GC=%.4f online=%.4f (msgs=%d)",
 		h1.Utility, h4.Utility, gu.Utility, gc.Utility,

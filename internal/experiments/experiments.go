@@ -13,6 +13,7 @@ import (
 	"haste/internal/baseline"
 	"haste/internal/core"
 	"haste/internal/model"
+	"haste/internal/netsim"
 	"haste/internal/obs"
 	"haste/internal/online"
 	"haste/internal/report"
@@ -49,6 +50,20 @@ type Options struct {
 	// the probe (obs package). Figures are bit-identical traced or not;
 	// `haste run --trace` aggregates the forest into a per-phase summary.
 	Trace *obs.Trace
+	// Transport selects the negotiation substrate of the online figures
+	// (online.Options.Driver): nil = in-memory netsim, transport.Factory =
+	// loopback TCP sockets. Every figure is bit-identical either way —
+	// that is the cross-driver equivalence contract — only wall-clock
+	// time changes (`haste run --transport tcp` exists to demonstrate it).
+	Transport netsim.Factory
+}
+
+// online returns the distributed-scheduler options for the given color
+// count with the run's Transport substrate applied.
+func (o Options) online(colors, samples int, seed int64) online.Options {
+	return online.Options{
+		Colors: colors, Samples: samples, Seed: seed, Driver: o.Transport,
+	}
 }
 
 // haste returns the TabularGreedy options for the given color count with
@@ -196,8 +211,16 @@ func onlineUtilities(in *model.Instance, o Options, seed int64) (utilities4, err
 		samples = 8
 	}
 	var u utilities4
-	u.h1 = online.Run(p, online.Options{Colors: 1, Seed: seed}).Outcome.Utility
-	u.h4 = online.Run(p, online.Options{Colors: 4, Samples: samples, Seed: seed}).Outcome.Utility
+	h1, err := online.Run(p, o.online(1, 0, seed))
+	if err != nil {
+		return utilities4{}, err
+	}
+	u.h1 = h1.Outcome.Utility
+	h4, err := online.Run(p, o.online(4, samples, seed))
+	if err != nil {
+		return utilities4{}, err
+	}
+	u.h4 = h4.Outcome.Utility
 	u.gu = sim.Execute(p, baseline.GreedyUtilityOnline(p)).Utility
 	u.gc = sim.Execute(p, baseline.GreedyCoverOnline(p)).Utility
 	return u, nil

@@ -88,7 +88,9 @@ func colorBoxPlot(o Options, title string, onlineMode bool) (*report.Table, erro
 			}
 			var u float64
 			if onlineMode {
-				u = onlineRunUtility(p, c, samples, seed)
+				if u, err = onlineRunUtility(p, o, c, samples, seed); err != nil {
+					return nil, err
+				}
 			} else {
 				res := core.TabularGreedy(p, core.Options{
 					Colors: c, Samples: samples, PreferStay: true,
@@ -139,7 +141,11 @@ func energyDurationGrid(o Options, title string, onlineMode bool) (*report.Table
 					return nil, err
 				}
 				if onlineMode {
-					sum += onlineRunUtility(p, 1, 1, seed)
+					u, err := onlineRunUtility(p, o, 1, 1, seed)
+					if err != nil {
+						return nil, err
+					}
+					sum += u
 				} else {
 					res := core.TabularGreedy(p, o.haste(1))
 					sum += sim.Execute(p, res.Schedule).Utility

@@ -10,11 +10,14 @@ import (
 	"haste/internal/workload"
 )
 
-// onlineRunUtility runs the distributed online algorithm once.
-func onlineRunUtility(p *core.Problem, colors, samples int, seed int64) float64 {
-	return online.Run(p, online.Options{
-		Colors: colors, Samples: samples, Seed: seed,
-	}).Outcome.Utility
+// onlineRunUtility runs the distributed online algorithm once on the
+// run's substrate.
+func onlineRunUtility(p *core.Problem, o Options, colors, samples int, seed int64) (float64, error) {
+	res, err := online.Run(p, o.online(colors, samples, seed))
+	if err != nil {
+		return 0, err
+	}
+	return res.Outcome.Utility, nil
 }
 
 func fig11(o Options) (*report.Table, error) {
@@ -82,7 +85,10 @@ func fig16(o Options) (*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res := online.Run(p, online.Options{Colors: 1, Seed: seed})
+			res, err := online.Run(p, o.online(1, 0, seed))
+			if err != nil {
+				return nil, err
+			}
 			msgs += float64(res.Stats.TotalMessages())
 			rounds += float64(res.Stats.TotalRounds())
 			for _, neg := range res.Stats.Negotiations {

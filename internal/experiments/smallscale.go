@@ -59,7 +59,11 @@ func smallScaleSweep(o Options, title, xName string, sweepAs bool) (*report.Tabl
 				Trace: o.Trace,
 			})
 			h4Sum += sim.Execute(p, r4.Schedule).Utility
-			doSum += online.Run(p, online.Options{Colors: 1, Seed: seed}).Outcome.Utility
+			do, err := online.Run(p, o.online(1, 0, seed))
+			if err != nil {
+				return nil, err
+			}
+			doSum += do.Outcome.Utility
 		}
 		if valid == 0 {
 			continue

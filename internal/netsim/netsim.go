@@ -57,6 +57,30 @@ type Node interface {
 	Step(inbox []Message) (out Payload, done bool)
 }
 
+// Driver is the execution-substrate contract of the negotiation protocol:
+// Run drives a set of nodes through synchronized rounds to quiescence and
+// accounts for every message. Both the in-memory Engine and the loopback
+// TCP engine (package transport) implement it; the algorithm's behaviour
+// must be invariant to which one carries the messages — the cross-driver
+// differential suite (difftest.DriverSweep) enforces bit-identical
+// outcomes and exactly reconciled Stats.
+//
+// Run may be called repeatedly (once per negotiation session); Close
+// releases any substrate resources (sockets, listeners, goroutines) and
+// must be called exactly once when the negotiation is over. Closing the
+// in-memory engine is a no-op.
+type Driver interface {
+	Run(nodes []Node) (Stats, error)
+	Close() error
+}
+
+// Factory builds a Driver over a topology for one negotiation. The online
+// layer calls it once per arrival-triggered renegotiation with the session
+// topology and the fully populated Options (failure injection Rng
+// included), so every driver consumes the same RNG draws in the same
+// order.
+type Factory func(neighbors [][]int, opt Options) (Driver, error)
+
 // Options configures an engine run.
 type Options struct {
 	// DropRate is the probability each individual delivery is lost.
@@ -155,20 +179,85 @@ type delayedMsg struct {
 // in-flight delayed messages (global quiescence) or MaxRounds is hit.
 // len(nodes) must equal len(Neighbors).
 func (e *Engine) Run(nodes []Node) (Stats, error) {
-	n := len(nodes)
-	maxRounds := e.Opt.MaxRounds
+	step := sequentialStep(nodes)
+	if e.Opt.Parallel {
+		step = parallelStep(nodes)
+	}
+	return RunRounds(e.Neighbors, e.Opt, step)
+}
+
+// Close implements Driver. The in-memory engine holds no resources.
+func (e *Engine) Close() error { return nil }
+
+// MemFactory is the Factory of the in-memory engine — the default
+// substrate when no driver is selected.
+func MemFactory(neighbors [][]int, opt Options) (Driver, error) {
+	return &Engine{Neighbors: neighbors, Opt: opt}, nil
+}
+
+// sequentialStep steps the nodes one by one on the calling goroutine.
+func sequentialStep(nodes []Node) StepFunc {
+	return func(round int, down []bool, inboxes [][]Message, outs []Payload) error {
+		for i, nd := range nodes {
+			if down != nil && down[i] {
+				continue
+			}
+			outs[i], _ = nd.Step(inboxes[i])
+		}
+		return nil
+	}
+}
+
+// parallelStep steps every up node on its own goroutine with a barrier.
+func parallelStep(nodes []Node) StepFunc {
+	return func(round int, down []bool, inboxes [][]Message, outs []Payload) error {
+		var wg sync.WaitGroup
+		for i := range nodes {
+			if down != nil && down[i] {
+				continue
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				outs[i], _ = nodes[i].Step(inboxes[i])
+			}(i)
+		}
+		wg.Wait()
+		return nil
+	}
+}
+
+// StepFunc executes one round's stepping fan for RunRounds: for every up
+// node i (down == nil, or down[i] == false) it must run Step on node i's
+// inbox and store the broadcast payload in outs[i]. outs is pre-cleared to
+// nil, so down nodes need no action. A non-nil error aborts the session —
+// substrates use it for link failures the round loop itself cannot see.
+type StepFunc func(round int, down []bool, inboxes [][]Message, outs []Payload) error
+
+// RunRounds is the substrate-independent session loop every Driver shares:
+// crash draws, delivery bookkeeping and all failure-injection RNG draws
+// happen here, single-threaded, in a fixed order — before (crash) and
+// after (drop/dup/delay) the stepping fan. A driver only supplies the fan,
+// so the sequential, parallel and socket drivers consume the RNG
+// identically and produce bit-identical Stats and inbox orderings by
+// construction. It runs until a round passes with no broadcasts and no
+// in-flight delayed messages (global quiescence), MaxRounds is hit
+// (ErrNoQuiescence), or the step fan fails.
+func RunRounds(neighbors [][]int, opt Options, step StepFunc) (Stats, error) {
+	n := len(neighbors)
+	maxRounds := opt.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = 10000
 	}
-	maxDelay := e.Opt.MaxDelay
+	maxDelay := opt.MaxDelay
 	if maxDelay <= 0 {
 		maxDelay = 3
 	}
-	downRounds := e.Opt.CrashDownRounds
+	downRounds := opt.CrashDownRounds
 	if downRounds <= 0 {
 		downRounds = 2
 	}
-	if e.Opt.failureInjection() && e.Opt.Rng == nil {
+	if opt.failureInjection() && opt.Rng == nil {
 		return Stats{}, ErrRngRequired
 	}
 
@@ -177,8 +266,10 @@ func (e *Engine) Run(nodes []Node) (Stats, error) {
 	outs := make([]Payload, n)
 	var pending []delayedMsg // in-flight delayed deliveries, insertion-ordered
 	var downUntil []int      // first round node i is up again (crash injection)
-	if e.Opt.CrashRate > 0 {
+	var down []bool          // this round's outage mask, nil without crash injection
+	if opt.CrashRate > 0 {
 		downUntil = make([]int, n)
+		down = make([]bool, n)
 	}
 
 	for round := 0; round < maxRounds; round++ {
@@ -186,20 +277,21 @@ func (e *Engine) Run(nodes []Node) (Stats, error) {
 
 		// Crash injection: decide this round's outages, then discard the
 		// inbox of every down node. Draws happen in node order in this
-		// single-threaded section, so both drivers consume the RNG
+		// single-threaded section, so every driver consumes the RNG
 		// identically.
-		if e.Opt.CrashRate > 0 {
+		if opt.CrashRate > 0 {
 			for i := 0; i < n; i++ {
 				if downUntil[i] > round {
 					continue // still down
 				}
-				if e.Opt.Rng.Float64() < e.Opt.CrashRate {
+				if opt.Rng.Float64() < opt.CrashRate {
 					stats.Crashes++
 					downUntil[i] = round + downRounds
 				}
 			}
 			for i := 0; i < n; i++ {
-				if downUntil[i] > round && len(inboxes[i]) > 0 {
+				down[i] = downUntil[i] > round
+				if down[i] && len(inboxes[i]) > 0 {
 					// These deliveries were counted as Messages when they
 					// entered the inbox but never reach the node: move
 					// them to CrashLost so the balance stays exact.
@@ -210,35 +302,16 @@ func (e *Engine) Run(nodes []Node) (Stats, error) {
 			}
 		}
 
-		down := func(i int) bool { return downUntil != nil && downUntil[i] > round }
-
-		if e.Opt.Parallel {
-			var wg sync.WaitGroup
-			for i := 0; i < n; i++ {
-				if down(i) {
-					outs[i] = nil
-					continue
-				}
-				wg.Add(1)
-				go func(i int) {
-					defer wg.Done()
-					outs[i], _ = nodes[i].Step(inboxes[i])
-				}(i)
-			}
-			wg.Wait()
-		} else {
-			for i := 0; i < n; i++ {
-				if down(i) {
-					outs[i] = nil
-					continue
-				}
-				outs[i], _ = nodes[i].Step(inboxes[i])
-			}
+		for i := range outs {
+			outs[i] = nil
+		}
+		if err := step(round, down, inboxes, outs); err != nil {
+			return stats, err
 		}
 
 		// Deliver. Inboxes are rebuilt from scratch — due delayed messages
 		// first (in postponement order), then this round's sends — and
-		// stable-sorted by sender so both drivers see identical input order.
+		// stable-sorted by sender so every driver sees identical input order.
 		sent := false
 		for i := range inboxes {
 			inboxes[i] = nil
@@ -264,31 +337,31 @@ func (e *Engine) Run(nodes []Node) (Stats, error) {
 				continue
 			}
 			sent = true
-			for _, to := range e.Neighbors[from] {
+			for _, to := range neighbors[from] {
 				stats.Attempted++
 				deliveries := 1
-				if e.Opt.Rng != nil {
-					dropRate := e.Opt.DropRate
-					if e.Opt.LinkDropRate != nil {
-						dropRate = e.Opt.LinkDropRate(from, to)
+				if opt.Rng != nil {
+					dropRate := opt.DropRate
+					if opt.LinkDropRate != nil {
+						dropRate = opt.LinkDropRate(from, to)
 					}
-					if dropRate > 0 && e.Opt.Rng.Float64() < dropRate {
+					if dropRate > 0 && opt.Rng.Float64() < dropRate {
 						stats.Dropped++
 						continue
 					}
-					if e.Opt.DupRate > 0 && e.Opt.Rng.Float64() < e.Opt.DupRate {
+					if opt.DupRate > 0 && opt.Rng.Float64() < opt.DupRate {
 						deliveries = 2
 						stats.Duplicated++
 					}
 				}
 				for d := 0; d < deliveries; d++ {
-					if e.Opt.DelayRate > 0 && e.Opt.Rng.Float64() < e.Opt.DelayRate {
+					if opt.DelayRate > 0 && opt.Rng.Float64() < opt.DelayRate {
 						stats.Delayed++
 						// An undelayed send is consumed in round+1; a delay
 						// of d ∈ [1, maxDelay] rounds pushes that to
 						// round+1+d.
 						pending = append(pending, delayedMsg{
-							due: round + 2 + e.Opt.Rng.Intn(maxDelay),
+							due: round + 2 + opt.Rng.Intn(maxDelay),
 							to:  to,
 							msg: Message{From: from, Payload: payload},
 						})

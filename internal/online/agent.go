@@ -49,38 +49,44 @@ import (
 	"haste/internal/netsim"
 )
 
-// bidMsg is the CMD=NULL control message: the sender's best marginal for
+// The four control-message types below are the complete wire vocabulary of
+// the protocol. They are exported so the socket substrate (package
+// transport) can hand-encode them into its deterministic binary framing;
+// every field must round-trip exactly (floats bit-for-bit) for the
+// cross-driver equivalence guarantee to hold.
+
+// BidMsg is the CMD=NULL control message: the sender's best marginal for
 // the session's (slot, color) pair.
-type bidMsg struct {
+type BidMsg struct {
 	Slot, Color int
 	Delta       float64
 }
 
-// updMsg is the CMD=UPD control message: the sender committed the policy
+// UpdMsg is the CMD=UPD control message: the sender committed the policy
 // covering these task IDs for the session's (slot, color) pair. Seq is the
 // sender's commit sequence number, strictly increasing across its commits,
 // so receivers and acks can identify a commit uniquely.
-type updMsg struct {
+type UpdMsg struct {
 	Slot, Color int
 	Seq         uint32
 	Covers      []int
 }
 
-// ackMsg acknowledges receipt of charger To's UPD with sequence Seq. Acks
+// AckMsg acknowledges receipt of charger To's UPD with sequence Seq. Acks
 // are broadcast (the substrate has no unicast); everyone but To ignores it.
-type ackMsg struct {
+type AckMsg struct {
 	Slot, Color int
 	To          int
 	Seq         uint32
 }
 
-// relMsg is the composite payload used when the reliability layer is on:
+// RelMsg is the composite payload used when the reliability layer is on:
 // one broadcast per round may carry a bid or an UPD plus any acks owed for
 // UPDs received this round.
-type relMsg struct {
-	Bid  *bidMsg
-	Upd  *updMsg
-	Acks []ackMsg
+type RelMsg struct {
+	Bid  *BidMsg
+	Upd  *UpdMsg
+	Acks []AckMsg
 }
 
 // agentPhase tracks the bid/decide alternation within a session.
@@ -129,7 +135,7 @@ type agent struct {
 	applied     map[int]uint32 // sender → seq of the commit already folded in
 	unacked     map[int]bool   // neighbors that have not acked my commit yet
 	retriesLeft int            // retransmissions left for my commit
-	myUpd       *updMsg        // my committed tuple, retained for retransmits
+	myUpd       *UpdMsg        // my committed tuple, retained for retransmits
 
 	// Reliability accounting across the whole renegotiation.
 	updSeq      uint32 // sequence number of my last commit
@@ -295,7 +301,7 @@ func (a *agent) stepBasic(inbox []netsim.Message) (netsim.Payload, bool) {
 		// sender's commit is applied at most once per session, which
 		// makes duplicated and delay-reordered deliveries idempotent.
 		for _, m := range inbox {
-			upd, ok := m.Payload.(updMsg)
+			upd, ok := m.Payload.(UpdMsg)
 			if !ok || upd.Slot != a.sessionSlot || upd.Color != a.sessionColor {
 				continue
 			}
@@ -317,7 +323,7 @@ func (a *agent) stepBasic(inbox []netsim.Message) (netsim.Payload, bool) {
 			return nil, true
 		}
 		a.phase = phaseDecide
-		return bidMsg{Slot: a.sessionSlot, Color: a.sessionColor, Delta: a.myBid}, false
+		return BidMsg{Slot: a.sessionSlot, Color: a.sessionColor, Delta: a.myBid}, false
 
 	case phaseDecide:
 		a.phase = phaseBid
@@ -327,7 +333,7 @@ func (a *agent) stepBasic(inbox []netsim.Message) (netsim.Payload, bool) {
 		// The paper's rule: commit iff our ΔF beats every competing
 		// neighbor's, breaking exact ties by charger ID.
 		for _, m := range inbox {
-			bid, ok := m.Payload.(bidMsg)
+			bid, ok := m.Payload.(BidMsg)
 			if !ok || bid.Slot != a.sessionSlot || bid.Color != a.sessionColor {
 				continue
 			}
@@ -338,7 +344,7 @@ func (a *agent) stepBasic(inbox []netsim.Message) (netsim.Payload, bool) {
 		a.fixed = true
 		a.commitOwn()
 		a.updSeq++
-		return updMsg{Slot: a.sessionSlot, Color: a.sessionColor, Seq: a.updSeq, Covers: a.policies[a.myPol].Covers}, true
+		return UpdMsg{Slot: a.sessionSlot, Color: a.sessionColor, Seq: a.updSeq, Covers: a.policies[a.myPol].Covers}, true
 	}
 	return nil, true
 }
@@ -347,12 +353,12 @@ func (a *agent) stepBasic(inbox []netsim.Message) (netsim.Payload, bool) {
 // decisions, but commits are acknowledged and re-broadcast until every
 // neighbor confirmed receipt (or the retry budget ran out).
 func (a *agent) stepReliable(inbox []netsim.Message) (netsim.Payload, bool) {
-	var out relMsg
+	var out RelMsg
 	// Process UPDs and acks every round, whatever the phase: delayed or
 	// retransmitted UPDs may arrive in a decide round and must still be
 	// applied and (re-)acked.
 	for _, m := range inbox {
-		pkt, ok := m.Payload.(relMsg)
+		pkt, ok := m.Payload.(RelMsg)
 		if !ok {
 			continue
 		}
@@ -366,7 +372,7 @@ func (a *agent) stepReliable(inbox []netsim.Message) (netsim.Payload, bool) {
 			}
 			// Ack every receipt: the previous ack may itself have been
 			// lost, and retransmissions stop only on a received ack.
-			out.Acks = append(out.Acks, ackMsg{Slot: a.sessionSlot, Color: a.sessionColor, To: m.From, Seq: upd.Seq})
+			out.Acks = append(out.Acks, AckMsg{Slot: a.sessionSlot, Color: a.sessionColor, To: m.From, Seq: upd.Seq})
 		}
 		for _, ack := range pkt.Acks {
 			if ack.To == a.id && ack.Slot == a.sessionSlot && ack.Color == a.sessionColor &&
@@ -384,7 +390,7 @@ func (a *agent) stepReliable(inbox []netsim.Message) (netsim.Payload, bool) {
 			if a.myBid <= 1e-15 {
 				a.passed = true
 			} else {
-				out.Bid = &bidMsg{Slot: a.sessionSlot, Color: a.sessionColor, Delta: a.myBid}
+				out.Bid = &BidMsg{Slot: a.sessionSlot, Color: a.sessionColor, Delta: a.myBid}
 			}
 		}
 
@@ -401,7 +407,7 @@ func (a *agent) stepReliable(inbox []netsim.Message) (netsim.Payload, bool) {
 			// stall every session for MaxDelay rounds.
 			won := true
 			for _, m := range inbox {
-				pkt, ok := m.Payload.(relMsg)
+				pkt, ok := m.Payload.(RelMsg)
 				if !ok || pkt.Bid == nil {
 					continue
 				}
@@ -418,7 +424,7 @@ func (a *agent) stepReliable(inbox []netsim.Message) (netsim.Payload, bool) {
 				a.fixed = true
 				a.commitOwn()
 				a.updSeq++
-				a.myUpd = &updMsg{Slot: a.sessionSlot, Color: a.sessionColor, Seq: a.updSeq, Covers: a.policies[a.myPol].Covers}
+				a.myUpd = &UpdMsg{Slot: a.sessionSlot, Color: a.sessionColor, Seq: a.updSeq, Covers: a.policies[a.myPol].Covers}
 				a.unacked = make(map[int]bool, len(a.neighbors))
 				for _, nb := range a.neighbors {
 					a.unacked[nb] = true

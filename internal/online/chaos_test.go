@@ -86,14 +86,14 @@ func TestChaosSweepInvariants(t *testing.T) {
 	}
 	for _, seed := range seeds {
 		p := chaosWorkload(seed)
-		clean := Run(p, Options{Seed: seed})
+		clean := mustRun(t, p, Options{Seed: seed})
 		reconcileStats(t, "failure-free", clean.Stats)
 		for _, o := range chaosGrid(testing.Short()) {
 			for _, reliable := range []bool{false, true} {
 				o := o
 				o.Seed = seed
 				o.Reliable = reliable
-				res := Run(p, o) // invariant 1: must terminate
+				res := mustRun(t, p, o) // invariant 1: must terminate
 				label := "chaos"
 				if reliable {
 					label = "chaos+reliable"
@@ -129,9 +129,9 @@ func TestReliabilityRecoversUtility(t *testing.T) {
 	var cleanSum, lossySum, relSum float64
 	for _, seed := range chaosSeeds {
 		p := chaosWorkload(seed)
-		clean := Run(p, Options{Seed: seed}).Outcome.Utility
-		lossy := Run(p, Options{Seed: seed, DropRate: 0.1}).Outcome.Utility
-		rel := Run(p, Options{Seed: seed, DropRate: 0.1, Reliable: true}).Outcome.Utility
+		clean := mustRun(t, p, Options{Seed: seed}).Outcome.Utility
+		lossy := mustRun(t, p, Options{Seed: seed, DropRate: 0.1}).Outcome.Utility
+		rel := mustRun(t, p, Options{Seed: seed, DropRate: 0.1, Reliable: true}).Outcome.Utility
 		cleanSum += clean
 		lossySum += lossy
 		relSum += rel
@@ -159,8 +159,8 @@ func TestReliableFailureFreeMatchesBaseline(t *testing.T) {
 		} else {
 			p = mustProblemChaos(t, seed)
 		}
-		base := Run(p, Options{Seed: seed})
-		rel := Run(p, Options{Seed: seed, Reliable: true})
+		base := mustRun(t, p, Options{Seed: seed})
+		rel := mustRun(t, p, Options{Seed: seed, Reliable: true})
 		if base.Outcome.Utility != rel.Outcome.Utility {
 			t.Errorf("seed=%d: reliable failure-free utility %v != baseline %v",
 				seed, rel.Outcome.Utility, base.Outcome.Utility)
@@ -202,9 +202,9 @@ func TestChaosDriverEquivalence(t *testing.T) {
 			o := o
 			o.Seed = seed
 			o.Reliable = reliable
-			seq := Run(p, o)
+			seq := mustRun(t, p, o)
 			o.Parallel = true
-			par := Run(p, o)
+			par := mustRun(t, p, o)
 			if seq.Outcome.Utility != par.Outcome.Utility {
 				t.Errorf("grid[%d] reliable=%v: utility diverges: %v vs %v",
 					gi, reliable, seq.Outcome.Utility, par.Outcome.Utility)

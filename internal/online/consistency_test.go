@@ -41,7 +41,10 @@ func negotiatedAgents(t *testing.T, seed int64, colors int) (*core.Problem, nego
 		}
 	}
 	opt := Options{Colors: colors, Seed: seed}.normalize()
-	neg := negotiate(p, opt, known, orient, 0, 0, p.K)
+	neg, err := negotiate(p, opt, known, orient, 0, 0, p.K)
+	if err != nil {
+		t.Fatalf("negotiate: %v", err)
+	}
 	return p, neg
 }
 

@@ -28,8 +28,8 @@ func TestDriverEquivalenceSeededTopologies(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		seq := Run(p, Options{Seed: seed})
-		par := Run(p, Options{Seed: seed, Parallel: true})
+		seq := mustRun(t, p, Options{Seed: seed})
+		par := mustRun(t, p, Options{Seed: seed, Parallel: true})
 
 		for i := range seq.Orientations {
 			for k := range seq.Orientations[i] {

@@ -26,6 +26,17 @@ func mustProblem(t *testing.T, in *model.Instance) *core.Problem {
 	return p
 }
 
+// mustRun runs the online scenario on the default in-memory substrate,
+// where Run cannot fail — any error is a test bug.
+func mustRun(t testing.TB, p *core.Problem, opt Options) Result {
+	t.Helper()
+	res, err := Run(p, opt)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
 func singleTaskInstance() *model.Instance {
 	return &model.Instance{
 		Chargers: []model.Charger{{ID: 0, Pos: geom.Point{X: 0, Y: 0}}},
@@ -46,7 +57,7 @@ func singleTaskInstance() *model.Instance {
 // slots: 240·(1−1/12) + 4·240 = 1180 J.
 func TestRunSingleTaskTiming(t *testing.T) {
 	p := mustProblem(t, singleTaskInstance())
-	res := Run(p, Options{Seed: 1})
+	res := mustRun(t, p, Options{Seed: 1})
 	if res.Outcome.Switches != 1 {
 		t.Errorf("switches = %d, want 1", res.Outcome.Switches)
 	}
@@ -82,9 +93,9 @@ func onlineWorkload(seed int64) *model.Instance {
 func TestRunDeterministicAndParallelAgrees(t *testing.T) {
 	in := onlineWorkload(111)
 	p := mustProblem(t, in)
-	a := Run(p, Options{Seed: 7})
-	b := Run(p, Options{Seed: 7})
-	c := Run(p, Options{Seed: 7, Parallel: true})
+	a := mustRun(t, p, Options{Seed: 7})
+	b := mustRun(t, p, Options{Seed: 7})
+	c := mustRun(t, p, Options{Seed: 7, Parallel: true})
 	if !almostEq(a.Outcome.Utility, b.Outcome.Utility) {
 		t.Fatalf("same seed diverged: %v vs %v", a.Outcome.Utility, b.Outcome.Utility)
 	}
@@ -114,7 +125,7 @@ func TestRunProducesMessagesWhenNeighborsExist(t *testing.T) {
 	if !hasNeighbors {
 		t.Skip("workload has no neighboring chargers")
 	}
-	res := Run(p, Options{Seed: 3})
+	res := mustRun(t, p, Options{Seed: 3})
 	if res.Stats.TotalMessages() == 0 {
 		t.Error("no control messages despite neighboring chargers")
 	}
@@ -139,7 +150,7 @@ func TestRunMeetsCompetitiveBound(t *testing.T) {
 		cfg.DurationMin, cfg.DurationMax = 2, 4
 		in := cfg.Generate(rand.New(rand.NewSource(200 + seed)))
 		p := mustProblem(t, in)
-		res := Run(p, Options{Seed: seed})
+		res := mustRun(t, p, Options{Seed: seed})
 		sol, err := opt.Solve(p, opt.Options{MaxNodes: 20_000_000})
 		if err != nil {
 			t.Skipf("seed %d: OPT too large: %v", seed, err)
@@ -162,7 +173,7 @@ func TestOfflineBeatsOnlineOnAggregate(t *testing.T) {
 		p := mustProblem(t, in)
 		off := core.TabularGreedy(p, core.DefaultOptions(1))
 		offSum += sim.Execute(p, off.Schedule).Utility
-		onSum += Run(p, Options{Seed: seed}).Outcome.Utility
+		onSum += mustRun(t, p, Options{Seed: seed}).Outcome.Utility
 	}
 	if offSum < onSum-1e-6 {
 		t.Errorf("offline aggregate %v below online %v", offSum, onSum)
@@ -175,11 +186,11 @@ func TestOfflineBeatsOnlineOnAggregate(t *testing.T) {
 func TestRunWithColors(t *testing.T) {
 	in := onlineWorkload(113)
 	p := mustProblem(t, in)
-	res := Run(p, Options{Seed: 4, Colors: 4})
+	res := mustRun(t, p, Options{Seed: 4, Colors: 4})
 	if res.Outcome.Utility <= 0 {
 		t.Errorf("C=4 utility = %v", res.Outcome.Utility)
 	}
-	res1 := Run(p, Options{Seed: 4, Colors: 1})
+	res1 := mustRun(t, p, Options{Seed: 4, Colors: 1})
 	if res.Outcome.Utility < 0.7*res1.Outcome.Utility {
 		t.Errorf("C=4 utility %v collapsed versus C=1 %v", res.Outcome.Utility, res1.Outcome.Utility)
 	}
@@ -193,7 +204,7 @@ func TestRunWithColors(t *testing.T) {
 func TestRunMultiColorGolden(t *testing.T) {
 	in := onlineWorkload(113)
 	p := mustProblem(t, in)
-	res := Run(p, Options{Seed: 4, Colors: 3})
+	res := mustRun(t, p, Options{Seed: 4, Colors: 3})
 	const wantUtility = 0.6153407608729332
 	if res.Outcome.Utility != wantUtility {
 		t.Errorf("C=3 utility = %v, want pinned %v", res.Outcome.Utility, wantUtility)
@@ -214,8 +225,8 @@ func TestRunMultiColorGolden(t *testing.T) {
 func TestRunUnderMessageLoss(t *testing.T) {
 	in := onlineWorkload(114)
 	p := mustProblem(t, in)
-	clean := Run(p, Options{Seed: 5})
-	lossy := Run(p, Options{Seed: 5, DropRate: 0.3, DupRate: 0.1})
+	clean := mustRun(t, p, Options{Seed: 5})
+	lossy := mustRun(t, p, Options{Seed: 5, DropRate: 0.3, DupRate: 0.1})
 	if lossy.Outcome.Utility <= 0 || lossy.Outcome.Utility > 1+1e-9 {
 		t.Fatalf("lossy utility out of range: %v", lossy.Outcome.Utility)
 	}
@@ -233,7 +244,7 @@ func TestRunUnderMessageLoss(t *testing.T) {
 // Fig. 16 totals short of Stats.Net.
 func TestLoneBidderSessionsCounted(t *testing.T) {
 	p := mustProblem(t, singleTaskInstance())
-	res := Run(p, Options{Seed: 1})
+	res := mustRun(t, p, Options{Seed: 1})
 	var sessions int
 	for _, n := range res.Stats.Negotiations {
 		sessions += n.Sessions
@@ -260,7 +271,7 @@ func TestLoneBidderSessionsCounted(t *testing.T) {
 func TestNonQuiescentSessionsAccounted(t *testing.T) {
 	in := onlineWorkload(112)
 	p := mustProblem(t, in)
-	res := Run(p, Options{Seed: 3, MaxRounds: 3})
+	res := mustRun(t, p, Options{Seed: 3, MaxRounds: 3})
 	if res.Stats.NonQuiescentSessions == 0 {
 		t.Fatal("MaxRounds=3 tripped no session; scenario does not exercise the path")
 	}

@@ -1,6 +1,8 @@
 package online
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -21,7 +23,9 @@ type Options struct {
 	// sampling; runs with equal seeds are identical.
 	Seed int64
 	// Parallel runs every negotiation round with one goroutine per
-	// charger (results are identical to the sequential driver).
+	// charger (results are identical to the sequential driver). It only
+	// selects between the in-memory engine's two stepping fans; a socket
+	// Driver is inherently concurrent and ignores it.
 	Parallel bool
 	// DropRate / DupRate inject message loss and duplication into the
 	// negotiation (see package netsim). The protocol degrades gracefully:
@@ -30,6 +34,13 @@ type Options struct {
 	// DelayRate / CrashRate inject bounded message delay (with reordering)
 	// and node crash/restart outages (see package netsim).
 	DelayRate, CrashRate float64
+	// Driver, when non-nil, builds the execution substrate carrying each
+	// negotiation's control messages — e.g. transport.Factory for
+	// loopback-TCP sockets. Nil selects the in-memory netsim engine. The
+	// protocol's behaviour is substrate-invariant: every driver must
+	// commit bit-identical schedules with exactly reconciled Stats
+	// (difftest.DriverSweep is the enforcement).
+	Driver netsim.Factory
 	// Reliable turns on the commit-reliability layer: sequence-numbered
 	// UPDs, per-neighbor acks, and a bounded-retransmit session epilogue,
 	// so a lost commit is re-announced instead of silently diverging the
@@ -121,7 +132,12 @@ type Result struct {
 // renegotiation of all orientations from τ slots in the future; the
 // resulting plan is executed physically with switching delays. See the
 // package comment for the protocol.
-func Run(p *core.Problem, opt Options) Result {
+//
+// With the default in-memory substrate Run cannot fail; a non-nil error
+// reports a broken Options.Driver substrate (listen/dial failure, a link
+// dying mid-session, coordinator cancellation) — injected message loss is
+// never an error, it is degradation accounted in Stats.
+func Run(p *core.Problem, opt Options) (Result, error) {
 	opt = opt.normalize()
 	in := p.In
 	n := len(in.Chargers)
@@ -170,7 +186,10 @@ func Run(p *core.Problem, opt Options) Result {
 			continue
 		}
 
-		neg := negotiate(p, opt, known, orient, t, lockUntil, maxEnd)
+		neg, err := negotiate(p, opt, known, orient, t, lockUntil, maxEnd)
+		if err != nil {
+			return Result{}, fmt.Errorf("online: negotiation at slot %d: %w", t, err)
+		}
 		neg.Slot = t
 		neg.NewTasks = len(arrivals[t])
 		stats.Negotiations = append(stats.Negotiations, neg.NegotiationStats)
@@ -189,7 +208,7 @@ func Run(p *core.Problem, opt Options) Result {
 		Orientations: orient,
 		Outcome:      sim.ExecuteOrientations(p, orient),
 		Stats:        stats,
-	}
+	}, nil
 }
 
 // negotiation is the outcome of one arrival-triggered renegotiation.
@@ -204,8 +223,11 @@ type negotiation struct {
 }
 
 // negotiate runs the full Algorithm 3 loop (slots outer, colors inner)
-// over the network of agents and returns their sampled plans.
-func negotiate(p *core.Problem, opt Options, known []int, orient [][]float64, now, lockUntil, maxEnd int) negotiation {
+// over the network of agents and returns their sampled plans. The
+// substrate (in-memory engine or a real-socket driver from opt.Driver) is
+// built once per negotiation and torn down before returning; only
+// substrate failures are errors — non-quiescence is degradation.
+func negotiate(p *core.Problem, opt Options, known []int, orient [][]float64, now, lockUntil, maxEnd int) (negotiation, error) {
 	in := p.In
 	n := len(in.Chargers)
 
@@ -218,20 +240,26 @@ func negotiate(p *core.Problem, opt Options, known []int, orient [][]float64, no
 		nodes[i] = agents[i]
 	}
 
-	engine := &netsim.Engine{
-		Neighbors: neighbors,
-		Opt: netsim.Options{
-			Parallel:  opt.Parallel,
-			DropRate:  opt.DropRate,
-			DupRate:   opt.DupRate,
-			DelayRate: opt.DelayRate,
-			CrashRate: opt.CrashRate,
-			MaxRounds: opt.MaxRounds,
-		},
+	nopt := netsim.Options{
+		Parallel:  opt.Parallel,
+		DropRate:  opt.DropRate,
+		DupRate:   opt.DupRate,
+		DelayRate: opt.DelayRate,
+		CrashRate: opt.CrashRate,
+		MaxRounds: opt.MaxRounds,
 	}
 	if opt.failureInjection() {
-		engine.Opt.Rng = rand.New(rand.NewSource(opt.Seed ^ int64(now)<<20))
+		nopt.Rng = rand.New(rand.NewSource(opt.Seed ^ int64(now)<<20))
 	}
+	factory := opt.Driver
+	if factory == nil {
+		factory = netsim.MemFactory
+	}
+	driver, err := factory(neighbors, nopt)
+	if err != nil {
+		return negotiation{}, fmt.Errorf("building driver: %w", err)
+	}
+	defer driver.Close()
 
 	var out negotiation
 	for k := lockUntil; k < maxEnd; k++ {
@@ -248,9 +276,15 @@ func negotiate(p *core.Problem, opt Options, known []int, orient [][]float64, no
 				// the session would be a single silent round.
 				continue
 			}
-			st, err := engine.Run(nodes)
+			st, err := driver.Run(nodes)
 			out.net.Add(st)
 			if err != nil {
+				if !errors.Is(err, netsim.ErrNoQuiescence) {
+					// The substrate itself failed (a link died, the
+					// coordinator was cancelled): the session outcome is
+					// undefined, abort the negotiation.
+					return out, fmt.Errorf("session (slot %d, color %d): %w", k, c, err)
+				}
 				// MaxRounds tripped (only possible under extreme failure
 				// injection); keep whatever was committed so far, but
 				// account for the degradation instead of hiding it.
@@ -285,7 +319,7 @@ func negotiate(p *core.Problem, opt Options, known []int, orient [][]float64, no
 		rng := rand.New(rand.NewSource(opt.Seed ^ int64(now)<<24 ^ int64(i)<<8))
 		out.plans[i] = a.finalPlan(lockUntil, maxEnd, rng)
 	}
-	return out
+	return out, nil
 }
 
 // perceivedEnergies computes, with relaxed (full-slot) accounting, the

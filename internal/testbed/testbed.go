@@ -212,7 +212,11 @@ func Compare(in *model.Instance, mode Mode, seed int64) (Comparison, error) {
 		})
 		haste = sim.Execute(p, res.Schedule)
 	} else {
-		haste = online.Run(p, online.Options{Colors: 4, Seed: seed}).Outcome
+		on, err := online.Run(p, online.Options{Colors: 4, Seed: seed})
+		if err != nil {
+			return Comparison{}, fmt.Errorf("testbed: %w", err)
+		}
+		haste = on.Outcome
 	}
 	c.HASTE = haste.PerTask
 	c.HASTETotal = haste.Utility

@@ -1,0 +1,321 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"haste/internal/netsim"
+	"haste/internal/online"
+)
+
+var updateCorpus = flag.Bool("update-corpus", false,
+	"regenerate the checked-in fuzz regression corpus under testdata/fuzz/FuzzFrameDecode")
+
+// samplePayloads covers every payload kind, including the edge shapes:
+// NaN and negative-zero floats (bitwise round-trip), empty and non-empty
+// covers/acks, and rel messages with every flag combination.
+func samplePayloads() []netsim.Payload {
+	bid := online.BidMsg{Slot: 3, Color: 1, Delta: 0.125}
+	upd := online.UpdMsg{Slot: 2, Color: 0, Seq: 7, Covers: []int{1, 5, 9}}
+	return []netsim.Payload{
+		bid,
+		online.BidMsg{Slot: 0, Color: 0, Delta: math.NaN()},
+		online.BidMsg{Slot: 1, Color: 2, Delta: math.Copysign(0, -1)},
+		upd,
+		online.UpdMsg{Slot: 0, Color: 3, Seq: 1},
+		online.AckMsg{Slot: 4, Color: 1, To: 6, Seq: 9},
+		online.RelMsg{},
+		online.RelMsg{Bid: &bid},
+		online.RelMsg{Upd: &upd, Acks: []online.AckMsg{{Slot: 1, To: 2, Seq: 3}, {Slot: 1, Color: 1, To: 0, Seq: 8}}},
+		online.RelMsg{Bid: &bid, Upd: &upd, Acks: []online.AckMsg{{To: 4, Seq: 2}}},
+	}
+}
+
+// payloadEqual compares payloads with float64 fields bit for bit (NaN
+// included) — the equivalence contract is bitwise, not semantic.
+func payloadEqual(a, b netsim.Payload) bool {
+	ab, errA := encodeOut(nil, a, false)
+	bb, errB := encodeOut(nil, b, false)
+	return errA == nil && errB == nil && bytes.Equal(ab, bb)
+}
+
+func TestStepFrameRoundTrip(t *testing.T) {
+	var inbox []netsim.Message
+	for i, p := range samplePayloads() {
+		inbox = append(inbox, netsim.Message{From: i, Payload: p})
+	}
+	for _, msgs := range [][]netsim.Message{nil, inbox[:1], inbox} {
+		body, err := encodeStep(nil, 41, msgs)
+		if err != nil {
+			t.Fatalf("encodeStep: %v", err)
+		}
+		frame, err := appendFrame(nil, frameStep, body)
+		if err != nil {
+			t.Fatalf("appendFrame: %v", err)
+		}
+		var scratch []byte
+		typ, got, err := readFrame(bytes.NewReader(frame), &scratch)
+		if err != nil || typ != frameStep {
+			t.Fatalf("readFrame: typ=%d err=%v", typ, err)
+		}
+		round, decoded, err := decodeStep(got)
+		if err != nil {
+			t.Fatalf("decodeStep: %v", err)
+		}
+		if round != 41 {
+			t.Errorf("round = %d, want 41", round)
+		}
+		if len(decoded) != len(msgs) {
+			t.Fatalf("decoded %d messages, want %d", len(decoded), len(msgs))
+		}
+		for i := range msgs {
+			if decoded[i].From != msgs[i].From || !payloadEqual(decoded[i].Payload, msgs[i].Payload) {
+				t.Errorf("message %d does not round-trip: %#v != %#v", i, decoded[i], msgs[i])
+			}
+		}
+	}
+}
+
+func TestOutFrameRoundTrip(t *testing.T) {
+	cases := append(samplePayloads(), nil)
+	for _, done := range []bool{false, true} {
+		for i, p := range cases {
+			body, err := encodeOut(nil, p, done)
+			if err != nil {
+				t.Fatalf("case %d: encodeOut: %v", i, err)
+			}
+			got, gotDone, err := decodeOut(body)
+			if err != nil {
+				t.Fatalf("case %d: decodeOut: %v", i, err)
+			}
+			if gotDone != done {
+				t.Errorf("case %d: done = %v, want %v", i, gotDone, done)
+			}
+			if (p == nil) != (got == nil) || (p != nil && !payloadEqual(got, p)) {
+				t.Errorf("case %d: payload does not round-trip: %#v != %#v", i, got, p)
+			}
+			if p != nil && reflect.TypeOf(got) != reflect.TypeOf(p) {
+				// Value (not pointer) types must come back: the agents
+				// type-assert on online.BidMsg et al., exactly as the
+				// in-memory engine delivers them.
+				t.Errorf("case %d: decoded payload is a %T, want %T", i, got, p)
+			}
+		}
+	}
+}
+
+func TestEncodeRejectsUnsupportedPayloads(t *testing.T) {
+	if _, err := encodeOut(nil, "not a protocol message", false); !errors.Is(err, ErrUnsupportedPayload) {
+		t.Errorf("foreign payload type: err = %v, want ErrUnsupportedPayload", err)
+	}
+	if _, err := encodeOut(nil, online.BidMsg{Slot: -1}, false); !errors.Is(err, ErrUnsupportedPayload) {
+		t.Errorf("negative int field: err = %v, want ErrUnsupportedPayload", err)
+	}
+	if _, err := encodeStep(nil, -3, nil); !errors.Is(err, ErrUnsupportedPayload) {
+		t.Errorf("negative round: err = %v, want ErrUnsupportedPayload", err)
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	if _, err := appendFrame(nil, frameStep, make([]byte, MaxFrameSize)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized body: err = %v, want ErrFrameTooLarge", err)
+	}
+	huge := []byte{0xff, 0xff, 0xff, 0xff, magic0, magic1, Version, frameStep}
+	var scratch []byte
+	if _, _, err := readFrame(bytes.NewReader(huge), &scratch); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized length prefix: err = %v, want ErrFrameTooLarge (decoder must not allocate 4 GiB)", err)
+	}
+}
+
+// frame builds a raw frame with full control over every byte — for the
+// malformed-input tables and the regression corpus.
+func rawFrame(length uint32, header []byte, body []byte) []byte {
+	var b []byte
+	b = append(b, byte(length>>24), byte(length>>16), byte(length>>8), byte(length))
+	b = append(b, header...)
+	return append(b, body...)
+}
+
+func validFrame(t testing.TB, typ byte, body []byte) []byte {
+	f, err := appendFrame(nil, typ, body)
+	if err != nil {
+		t.Fatalf("appendFrame: %v", err)
+	}
+	return f
+}
+
+// corpusFrames returns the seed/regression corpus: one representative of
+// every accept path and every reject path of the decoder.
+func corpusFrames(t testing.TB) map[string][]byte {
+	stepBody, err := encodeStep(nil, 5, []netsim.Message{
+		{From: 0, Payload: online.BidMsg{Slot: 1, Delta: 0.5}},
+		{From: 2, Payload: online.UpdMsg{Slot: 1, Seq: 3, Covers: []int{7}}},
+		{From: 3, Payload: online.AckMsg{Slot: 1, To: 2, Seq: 3}},
+	})
+	if err != nil {
+		t.Fatalf("encodeStep: %v", err)
+	}
+	bid := online.BidMsg{Slot: 9, Color: 1, Delta: -2.25}
+	relBody, err := encodeOut(nil, online.RelMsg{Bid: &bid, Acks: []online.AckMsg{{To: 1, Seq: 4}}}, true)
+	if err != nil {
+		t.Fatalf("encodeOut: %v", err)
+	}
+	outBody, err := encodeOut(nil, nil, false)
+	if err != nil {
+		t.Fatalf("encodeOut: %v", err)
+	}
+	return map[string][]byte{
+		"valid-step":        validFrame(t, frameStep, stepBody),
+		"valid-out-rel":     validFrame(t, frameOut, relBody),
+		"valid-out-silent":  validFrame(t, frameOut, outBody),
+		"valid-shutdown":    validFrame(t, frameShutdown, nil),
+		"empty":             {},
+		"short-prefix":      {0x00, 0x00},
+		"oversized-prefix":  rawFrame(0xffffffff, []byte{magic0, magic1, Version, frameStep}, nil),
+		"undersized-prefix": rawFrame(2, []byte{magic0, magic1}, nil),
+		"bad-magic":         rawFrame(4, []byte{'x', 'y', Version, frameStep}, nil),
+		"version-skew":      rawFrame(4, []byte{magic0, magic1, Version + 1, frameStep}, nil),
+		"bad-frame-type":    rawFrame(4, []byte{magic0, magic1, Version, 0x7f}, nil),
+		"cut-mid-body":      validFrame(t, frameStep, stepBody)[:12],
+		"trailing-bytes":    validFrame(t, frameOut, append(append([]byte{}, outBody...), 0xEE)),
+		"bad-payload-kind":  validFrame(t, frameOut, []byte{outHasPayload, 0x9}),
+		"bad-out-flags":     validFrame(t, frameOut, []byte{0xF0}),
+		"bad-rel-flags":     validFrame(t, frameOut, []byte{outHasPayload, kindRel, 0xFF}),
+		// Count field promises more elements than the frame carries: the
+		// guard must reject it without allocating the promised amount.
+		"count-overrun": validFrame(t, frameStep, []byte{
+			0, 0, 0, 1, // round
+			0xff, 0xff, 0xff, 0xff, // message count far beyond the body
+			0, 0, 0, 0, kindBid,
+		}),
+	}
+}
+
+// TestRegressionCorpus pins the checked-in fuzz corpus to the generated
+// one: every accept/reject representative must exist on disk byte for
+// byte (regenerate with -update-corpus).
+func TestRegressionCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzFrameDecode")
+	for name, frame := range corpusFrames(t) {
+		content := "go test fuzz v1\n[]byte(" + strconv.Quote(string(frame)) + ")\n"
+		path := filepath.Join(dir, "seed-"+name)
+		if *updateCorpus {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("corpus entry %s missing (run `go test ./internal/transport -run TestRegressionCorpus -update-corpus`): %v", name, err)
+		}
+		if string(got) != content {
+			t.Errorf("corpus entry %s is stale (regenerate with -update-corpus)", name)
+		}
+	}
+}
+
+// typedDecodeError reports whether err is one of the codec's documented
+// rejections (or a reader-level io error) — the only errors the decoder
+// may return. Anything else is an escape from the error taxonomy.
+func typedDecodeError(err error) bool {
+	for _, want := range []error{
+		ErrFrameTooLarge, ErrBadMagic, ErrVersionSkew, ErrBadFrameType,
+		ErrTruncated, ErrTrailingBytes, ErrBadPayloadKind, ErrMalformed,
+		ErrUnsupportedPayload, io.EOF, io.ErrUnexpectedEOF,
+	} {
+		if errors.Is(err, want) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDecodeErrorsAreTyped(t *testing.T) {
+	for name, frame := range corpusFrames(t) {
+		var scratch []byte
+		typ, body, err := readFrame(bytes.NewReader(frame), &scratch)
+		if err == nil {
+			switch typ {
+			case frameStep:
+				_, _, err = decodeStep(body)
+			case frameOut:
+				_, _, err = decodeOut(body)
+			}
+		}
+		valid := len(name) > 5 && name[:5] == "valid"
+		if valid && err != nil {
+			t.Errorf("%s: unexpected decode error %v", name, err)
+		}
+		if !valid && err == nil {
+			t.Errorf("%s: malformed frame was accepted", name)
+		}
+		if err != nil && !typedDecodeError(err) {
+			t.Errorf("%s: error %v is not part of the typed taxonomy", name, err)
+		}
+	}
+}
+
+// FuzzFrameDecode hardens the decoder against arbitrary network bytes:
+// it must never panic or over-read, every rejection must be a typed
+// error, and every accepted frame must re-encode canonically to the very
+// bytes that were decoded (so the codec has exactly one wire form per
+// value — a prerequisite for the bitwise cross-driver equivalence).
+func FuzzFrameDecode(f *testing.F) {
+	for _, frame := range corpusFrames(f) {
+		f.Add(frame)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var scratch []byte
+		typ, body, err := readFrame(bytes.NewReader(data), &scratch)
+		if err != nil {
+			if !typedDecodeError(err) {
+				t.Fatalf("readFrame: untyped error %v", err)
+			}
+			return
+		}
+		switch typ {
+		case frameStep:
+			round, inbox, err := decodeStep(body)
+			if err != nil {
+				if !typedDecodeError(err) {
+					t.Fatalf("decodeStep: untyped error %v", err)
+				}
+				return
+			}
+			re, err := encodeStep(nil, round, inbox)
+			if err != nil {
+				t.Fatalf("decoded step frame does not re-encode: %v", err)
+			}
+			if !bytes.Equal(re, body) {
+				t.Fatalf("step frame is not canonical: decoded %x, re-encoded %x", body, re)
+			}
+		case frameOut:
+			out, done, err := decodeOut(body)
+			if err != nil {
+				if !typedDecodeError(err) {
+					t.Fatalf("decodeOut: untyped error %v", err)
+				}
+				return
+			}
+			re, err := encodeOut(nil, out, done)
+			if err != nil {
+				t.Fatalf("decoded out frame does not re-encode: %v", err)
+			}
+			if !bytes.Equal(re, body) {
+				t.Fatalf("out frame is not canonical: decoded %x, re-encoded %x", body, re)
+			}
+		}
+	})
+}
